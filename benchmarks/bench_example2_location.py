@@ -1,0 +1,48 @@
+"""E2 — Example 2: location tracking (stream -> table updates).
+
+Regenerates: correctness of the change-only persistence semantics (rows in
+``object_movement`` == first visits in ground truth) and the write
+suppression factor (readings vs persisted rows), plus insert throughput.
+
+Expected shape: persisted rows exactly match ground truth; suppression
+grows with reads-per-stay.
+"""
+
+from repro.bench import Accuracy, ResultTable
+from repro.rfid import build_location, location_workload
+
+
+def test_location_persistence_shape(table_printer):
+    table = ResultTable(
+        "E2  Example 2: location tracking",
+        ["reads_per_stay", "stream_tuples", "table_rows", "suppression",
+         "exact"],
+    )
+    for reads in (1, 3, 6, 12):
+        workload = location_workload(
+            n_tags=15, moves_per_tag=5, reads_per_stay=reads, seed=81
+        )
+        scenario = build_location(workload).feed()
+        table_rows = list(scenario.engine.table("object_movement").scan())
+        detected = {
+            (r["tagid"], r["location"], r["start_time"]) for r in table_rows
+        }
+        accuracy = Accuracy.from_sets(detected, set(workload.truth))
+        table.add(
+            reads, len(workload.trace), len(table_rows),
+            len(workload.trace) / max(len(table_rows), 1), accuracy.exact,
+        )
+        assert accuracy.exact
+    table_printer(table)
+
+
+def test_location_throughput(benchmark):
+    workload = location_workload(n_tags=25, moves_per_tag=6, seed=82)
+
+    def run():
+        scenario = build_location(workload)
+        scenario.feed()
+        return len(scenario.engine.table("object_movement"))
+
+    rows = benchmark(run)
+    assert rows == len(workload.truth)

@@ -1,0 +1,72 @@
+"""E6 — Example 6: the four-step quality-check SEQ query.
+
+Regenerates: detection correctness (completed products only) and the cost
+profile of SEQ(C1..C4) with per-tag equality joins as the product count
+grows, under the paper's recommended RECENT evaluation and the verbatim
+UNRESTRICTED default.
+
+Expected shape: both modes find exactly the completed products (per-tag
+partitions make them equivalent here); RECENT holds less state than
+UNRESTRICTED on the same trace.
+"""
+
+from repro.bench import ResultTable
+from repro.rfid import build_quality_check, quality_check_workload
+
+
+def test_quality_check_scaling_table(table_printer):
+    table = ResultTable(
+        "E6  Example 6: SEQ(C1,C2,C3,C4) + tagid equality joins",
+        ["products", "dropout", "tuples", "completed", "detected",
+         "chronicle_state", "recent_state", "unrestricted_state"],
+    )
+    for n_products, dropout in ((50, 0.0), (100, 0.15), (200, 0.3)):
+        scenarios = {}
+        for label, mode in (("chronicle", "CHRONICLE"), ("recent", "RECENT"),
+                            ("unrestricted", None)):
+            workload = quality_check_workload(
+                n_products=n_products, dropout_rate=dropout, seed=121
+            )
+            scenario = build_quality_check(workload, mode=mode).feed()
+            detected = {row["tagid"] for row in scenario.rows()}
+            assert detected == set(workload.truth), label
+            scenarios[label] = scenario
+        states = {
+            label: scenario.handle.operator.state_size
+            for label, scenario in scenarios.items()
+        }
+        table.add(
+            n_products, dropout, len(workload.trace), len(workload.truth),
+            len(detected), states["chronicle"], states["recent"],
+            states["unrestricted"],
+        )
+        # CHRONICLE consumes completed products' tuples: only dropouts and
+        # in-flight products remain in its history.
+        assert states["chronicle"] <= states["unrestricted"]
+        if dropout == 0.0:
+            assert states["chronicle"] < states["unrestricted"]
+    table_printer(table)
+
+
+def test_seq_throughput_recent(benchmark):
+    workload = quality_check_workload(n_products=150, seed=122)
+
+    def run():
+        scenario = build_quality_check(workload)
+        scenario.feed()
+        return len(scenario.rows())
+
+    detected = benchmark(run)
+    assert detected == len(workload.truth)
+
+
+def test_seq_throughput_unrestricted(benchmark):
+    workload = quality_check_workload(n_products=150, seed=122)
+
+    def run():
+        scenario = build_quality_check(workload, mode=None)
+        scenario.feed()
+        return len(scenario.rows())
+
+    detected = benchmark(run)
+    assert detected == len(workload.truth)

@@ -1,0 +1,88 @@
+"""E7 — Example 7: star-sequence aggregates and per-tuple return.
+
+Regenerates: FIRST/LAST/COUNT correctness on the containment query across
+case sizes, the per-tuple (multi-return) row counts of footnote 4, and the
+cost of per-tuple vs aggregated output.
+
+Expected shape: COUNT(R1*) == |case| for every case; the per-tuple variant
+emits exactly sum(|case|) rows; aggregated output is cheaper than
+per-tuple on large cases.
+"""
+
+from collections import defaultdict
+
+from repro.bench import ResultTable
+from repro.rfid import build_containment, packing_workload
+
+
+def test_star_aggregate_correctness(table_printer):
+    table = ResultTable(
+        "E7  Example 7: FIRST/LAST/COUNT over star runs",
+        ["cases", "items_total", "count_ok", "first_ok", "last_ok"],
+    )
+    for n_cases in (10, 30, 60):
+        workload = packing_workload(
+            n_cases=n_cases, products_per_case=(1, 9), seed=141
+        )
+        scenario = build_containment(workload).feed()
+        product_times = {}
+        for stream, row, ts in workload.trace:
+            if stream == "r1":
+                product_times[row["tagid"]] = ts
+        count_ok = first_ok = last_ok = 0
+        for row in scenario.rows():
+            case = row["tagid"]
+            items = workload.truth[case]
+            if row["count_R1"] == len(items):
+                count_ok += 1
+            if row["first_R1_tagtime"] == product_times[items[0]]:
+                first_ok += 1
+        # LAST is implied by the guard (R2 - LAST <= 5s) holding; recompute:
+        for row in scenario.rows():
+            case = row["tagid"]
+            items = workload.truth[case]
+            if row["tagtime"] - product_times[items[-1]] <= 5.0:
+                last_ok += 1
+        total_items = sum(len(v) for v in workload.truth.values())
+        table.add(n_cases, total_items, f"{count_ok}/{n_cases}",
+                  f"{first_ok}/{n_cases}", f"{last_ok}/{n_cases}")
+        assert count_ok == first_ok == last_ok == n_cases
+    table_printer(table)
+
+
+def test_multi_return_row_counts():
+    """Footnote 4: K tuples in the star run -> K returned rows."""
+    workload = packing_workload(n_cases=20, seed=142)
+    scenario = build_containment(workload, per_item=True).feed()
+    grouped = defaultdict(list)
+    for row in scenario.rows():
+        grouped[row["tagid_2"]].append(row["tagid"])
+    for case, items in workload.truth.items():
+        assert grouped[case] == items
+    assert len(scenario.rows()) == sum(
+        len(items) for items in workload.truth.values()
+    )
+
+
+def test_aggregated_output_throughput(benchmark):
+    workload = packing_workload(n_cases=50, products_per_case=(4, 10),
+                                seed=143)
+
+    def run():
+        scenario = build_containment(workload)
+        scenario.feed()
+        return len(scenario.rows())
+
+    benchmark(run)
+
+
+def test_per_tuple_output_throughput(benchmark):
+    workload = packing_workload(n_cases=50, products_per_case=(4, 10),
+                                seed=143)
+
+    def run():
+        scenario = build_containment(workload, per_item=True)
+        scenario.feed()
+        return len(scenario.rows())
+
+    benchmark(run)

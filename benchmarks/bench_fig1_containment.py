@@ -1,0 +1,71 @@
+"""E4 / Figure 1 — containment detection with star sequences.
+
+Regenerates: Figure 1's packing scenario (t0 = 5 s, t1 = 1 s) as a
+quantitative experiment — accuracy of ``SEQ(R1*, R2) MODE CHRONICLE``
+against ground truth across case sizes and overlap (Figure 1(b)), and the
+expressiveness comparison the paper uses to motivate star sequences: the
+join baseline cannot express ``R1*`` at all.
+
+Expected shape: exact containment recovery with and without overlapping
+cases; the join baseline's `supports_star` is False (section 2.2: the
+pattern "cannot be expressed using regular join operators").
+"""
+
+from collections import defaultdict
+
+from repro.baselines import join_baseline
+from repro.bench import ResultTable, containment_accuracy
+from repro.rfid import build_containment, packing_workload
+
+
+def detect(workload):
+    scenario = build_containment(workload, per_item=True).feed()
+    grouped = defaultdict(list)
+    for row in scenario.rows():
+        grouped[row["tagid_2"]].append(row["tagid"])
+    return scenario, containment_accuracy(list(grouped.items()), workload.truth)
+
+
+def test_containment_accuracy_table(table_printer):
+    table = ResultTable(
+        "E4/Fig1  Containment via SEQ(R1*, R2) MODE CHRONICLE "
+        "(t0=5s, t1=1s)",
+        ["cases", "max_items", "overlap", "readings", "detected_cases",
+         "precision", "recall"],
+    )
+    for n_cases, max_items, overlap in (
+        (10, 4, False), (10, 4, True),
+        (40, 8, False), (40, 8, True),
+        (80, 12, True),
+    ):
+        workload = packing_workload(
+            n_cases=n_cases, products_per_case=(2, max_items),
+            overlap_next_case=overlap, seed=101 + n_cases,
+        )
+        scenario, accuracy = detect(workload)
+        detected_cases = len(
+            {row["tagid_2"] for row in scenario.rows()}
+        )
+        table.add(n_cases, max_items, overlap, len(workload.trace),
+                  detected_cases, accuracy.precision, accuracy.recall)
+        assert accuracy.exact, (
+            f"containment must be exact (cases={n_cases}, overlap={overlap})"
+        )
+    table_printer(table)
+
+
+def test_join_baseline_cannot_express_star():
+    """The motivating claim of section 2.2, verified as a capability flag."""
+    assert join_baseline.supports_star is False
+
+
+def test_containment_throughput(benchmark):
+    workload = packing_workload(n_cases=60, seed=103)
+
+    def run():
+        scenario = build_containment(workload)
+        scenario.feed()
+        return len(scenario.rows())
+
+    detected = benchmark(run)
+    assert detected == len(workload.truth)

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag lets each benchmark print its result table — the rows and
+series that stand in for the paper's (non-existent) measurement tables.
+Every benchmark also asserts the *shape* claims from EXPERIMENTS.md, so a
+regression in who-wins/by-how-much fails the run, not just the numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def table_printer(capsys):
+    """Print a ResultTable even under output capture."""
+
+    def show(table) -> None:
+        with capsys.disabled():
+            table.print()
+
+    return show

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Patient tracking: ad-hoc snapshots, context retrieval, DB updates.
+
+Covers the three "plain SQL" RFID tasks of paper section 2.1 that the
+other examples don't:
+
+* **ad-hoc snapshot queries** — "where is patient X right now?" answered
+  from live stream state (SnapshotView), with no persistent storage;
+* **context retrieval** — readings enriched from a metadata table through
+  a stream–table join (authorization lookup);
+* **database update** — Example 2's movement history, persisted only when
+  the location changes.
+
+Run:  python examples/patient_tracking.py
+"""
+
+from repro import Engine, SnapshotView
+
+MOVEMENT_QUERY = """
+    INSERT INTO movement_history
+    SELECT tid, loc, tagtime
+    FROM badge_readings WHERE NOT EXISTS
+      (SELECT tagid FROM movement_history
+       WHERE tagid = tid AND location = loc)
+"""
+
+AUTH_QUERY = """
+    SELECT r.tid, r.loc, s.name, s.ward
+    FROM badge_readings AS r, staff AS s
+    WHERE r.tid = s.tagid AND s.ward <> r.loc
+"""
+
+
+def main() -> None:
+    engine = Engine()
+    engine.create_stream(
+        "badge_readings", "readerid str, tid str, tagtime float, loc str"
+    )
+    engine.create_table("movement_history", "tagid str, location str, since float")
+    engine.create_table("staff", "tagid str, name str, ward str")
+    engine.query("""
+        INSERT INTO staff VALUES
+            ('b-1', 'Dr. Adams', 'icu'),
+            ('b-2', 'Nurse Brown', 'er')
+    """)
+
+    # Live snapshot over the badge stream (10-minute retention).
+    snapshot = SnapshotView(engine.stream("badge_readings"), window=600.0)
+
+    # Example 2: persist location *changes* only.
+    engine.query(MOVEMENT_QUERY, name="movement")
+
+    # Context retrieval: alert when staff are outside their home ward.
+    away = engine.query(AUTH_QUERY, name="away-from-ward")
+
+    timeline = [
+        ("b-1", "icu", 10.0), ("b-1", "icu", 70.0),   # repeat: no new row
+        ("b-2", "er", 80.0),
+        ("b-1", "pharmacy", 200.0),                      # moved
+        ("b-2", "icu", 260.0),                            # moved
+        ("b-1", "icu", 400.0),                            # back home
+    ]
+    for tid, loc, ts in timeline:
+        engine.push(
+            "badge_readings",
+            {"readerid": f"rd-{loc}", "tid": tid, "tagtime": ts, "loc": loc},
+            ts=ts,
+        )
+
+    # -- Ad-hoc snapshot: "where is everyone right now?" --------------------
+    print("Current locations (from live stream state, no DB):")
+    for tid, tup in sorted(snapshot.latest_by("tid").items()):
+        print(f"  {tid}: {tup['loc']} (as of t={tup.ts:g})")
+
+    # -- Persisted movement history (only transitions). ---------------------
+    print("\nmovement_history table (Example 2 semantics):")
+    for row in engine.table("movement_history").scan():
+        print(f"  {row['tagid']} -> {row['location']:<9} since t={row['since']:g}")
+
+    # -- Context-enriched alerts. -------------------------------------------
+    print("\nStaff seen outside their home ward:")
+    for row in away.rows():
+        print(f"  {row['name']} ({row['tid']}) seen in {row['loc']}, "
+              f"home ward {row['ward']}")
+
+    # -- Windowed ad-hoc aggregate. ------------------------------------------
+    recent_count = snapshot.aggregate("count_distinct", "tid")
+    print(f"\nDistinct badges seen in the last 10 minutes: {recent_count}")
+
+    # -- The same questions, in SQL (Engine.snapshot). ------------------------
+    engine.enable_history("badge_readings", duration=600.0)
+    # (history starts recording now; replay the tail of the shift)
+    for tid, loc, ts in [("b-1", "icu", 500.0), ("b-2", "icu", 520.0)]:
+        engine.push(
+            "badge_readings",
+            {"readerid": f"rd-{loc}", "tid": tid, "tagtime": ts, "loc": loc},
+            ts=ts,
+        )
+    rows = engine.snapshot(
+        "SELECT loc, count(tid) AS badges FROM badge_readings GROUP BY loc"
+    )
+    print("\nAd-hoc SQL snapshot (badges per location, last 10 min):")
+    for row in rows:
+        print(f"  {row['loc']}: {row['badges']}")
+
+
+if __name__ == "__main__":
+    main()

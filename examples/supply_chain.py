@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""A composed supply-chain pipeline — the paper's motivating deployment.
+
+One engine runs four of the paper's constructs as a *pipeline*, chained
+through derived streams (the composition argument of section 1: a single
+DSMS covers cleaning, event detection, and persistence):
+
+    raw product reads --(Example 1 dedup)--> clean product reads
+    clean reads + case reads --(Example 7 SEQ(R1*, R2))--> packed_cases
+    packed_cases --(Example 2 pattern)--> persistent shipment table
+    packed_cases --(aggregation)--> running totals per destination
+
+Run:  python examples/supply_chain.py
+"""
+
+import random
+
+from repro import Engine
+
+DEDUP = """
+    INSERT INTO products
+    SELECT * FROM raw_products AS r1
+    WHERE NOT EXISTS
+      (SELECT * FROM TABLE(raw_products OVER
+         (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+       WHERE r2.readerid = r1.readerid AND r2.tagid = r1.tagid)
+"""
+
+PACKING = """
+    INSERT INTO packed_cases
+    SELECT R2.tagid, COUNT(R1*), FIRST(R1*).tagtime, R2.tagtime
+    FROM products AS R1, cases AS R2
+    WHERE SEQ(R1*, R2) MODE CHRONICLE
+    AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+    AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
+"""
+
+# Note the qualified correlation (s.casetag = p.casetag): a bare `casetag`
+# inside the sub-query would resolve to shipments itself (innermost scope).
+PERSIST = """
+    INSERT INTO shipments
+    SELECT p.casetag, p.items, p.packed_at
+    FROM packed_cases AS p WHERE NOT EXISTS
+      (SELECT casetag FROM shipments AS s WHERE s.casetag = p.casetag)
+"""
+
+TOTALS = """
+    SELECT count(casetag) AS cases, sum(items) AS items_total
+    FROM packed_cases
+"""
+
+
+def main() -> None:
+    engine = Engine()
+    engine.query("""
+        CREATE STREAM raw_products(readerid str, tagid str, tagtime float);
+        CREATE STREAM products(readerid str, tagid str, tagtime float);
+        CREATE STREAM cases(readerid str, tagid str, tagtime float);
+        CREATE STREAM packed_cases(casetag str, items int,
+                                   first_item float, packed_at float);
+        CREATE TABLE shipments(casetag str, items int, packed_at float);
+    """)
+    engine.query(DEDUP, name="dedup")
+    engine.query(PACKING, name="packing")
+    engine.query(PERSIST, name="persist")
+    totals = engine.query(TOTALS, name="totals")
+
+    # Simulate three cases being packed, with duplicate product reads.
+    rng = random.Random(2)
+    t = 0.0
+    expected = []
+    for case_index in range(3):
+        n_items = rng.randint(2, 4)
+        expected.append(n_items)
+        for item in range(n_items):
+            tag = f"20.44.{case_index * 100 + item}"
+            # Each product read 3 times within 0.4s (duplicates).
+            for repeat in range(3):
+                ts = t + repeat * 0.2
+                engine.push("raw_products",
+                            {"readerid": "belt", "tagid": tag, "tagtime": ts},
+                            ts=ts)
+            t += 0.7  # next product within the 1s intra-case gap
+        case_ts = t + 2.0
+        engine.push("cases",
+                    {"readerid": "pack", "tagid": f"case-{case_index}",
+                     "tagtime": case_ts},
+                    ts=case_ts)
+        t = case_ts + 3.0  # > 1s: the next case's products form a new run
+
+    print("Shipments table (persisted once per case):")
+    for row in engine.table("shipments").scan():
+        print(f"  {row['casetag']}: {row['items']} items, "
+              f"packed at t={row['packed_at']:g}")
+
+    detected = [row["items"] for row in engine.table("shipments").scan()]
+    print(f"\nItems per case — expected {expected}, detected {detected}, "
+          f"match: {detected == expected}")
+
+    final = totals.rows()[-1]
+    print(f"\nRunning totals: {final['cases']} cases, "
+          f"{final['items_total']} items")
+
+    dedup_in = engine.stream("raw_products").count
+    dedup_out = engine.stream("products").count
+    print(f"Dedup stage: {dedup_in} raw reads -> {dedup_out} clean reads "
+          f"({dedup_in / dedup_out:.1f}x compression)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro — a reproduction of "RFID Data Processing with a Data Stream Query
+Language" (Bai, Wang, Liu, Zaniolo, Liu; ICDE 2007).
+
+The package implements ESL-EV: an SQL-based stream query language extended
+with temporal event operators (SEQ, star sequences, EXCEPTION_SEQ,
+CLEVEL_SEQ, tuple pairing modes, FOLLOWING and cross-sub-query windows),
+on top of a self-contained DSMS substrate, an EPC/ALE layer, RFID workload
+simulators, and the paper's two comparison baselines.
+
+Quickstart::
+
+    from repro import Engine
+
+    engine = Engine()
+    engine.create_stream('readings', 'reader_id str, tag_id str, read_time float')
+    handle = engine.query(
+        "SELECT count(tag_id) FROM readings WHERE tag_id LIKE '20.%'")
+    engine.push('readings',
+                {'reader_id': 'r1', 'tag_id': '20.1.5001', 'read_time': 0.0},
+                ts=0.0)
+    print(handle.rows())
+
+See the ``examples/`` directory for the paper's full scenarios.
+"""
+
+from .dsms import (
+    Aggregate,
+    Collector,
+    Engine,
+    EslError,
+    EslRuntimeError,
+    EslSemanticError,
+    EslSyntaxError,
+    QueryHandle,
+    Schema,
+    SnapshotView,
+    Stream,
+    Table,
+    Tuple,
+    VirtualClock,
+    WindowSpec,
+    uda_from_callables,
+)
+from .core.operators import (
+    ExceptionReason,
+    ExceptionSeqOperator,
+    OperatorWindow,
+    PairingMode,
+    SeqArg,
+    SeqMatch,
+    SeqOperator,
+    SequenceOutcome,
+    StarSeqOperator,
+    SymmetricExistsOperator,
+    make_sequence_operator,
+)
+from .core.planner import describe_handle, optimization_report
+from .epc import EpcCode, EpcPattern, pattern_to_sql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate",
+    "Collector",
+    "Engine",
+    "EpcCode",
+    "EpcPattern",
+    "EslError",
+    "EslRuntimeError",
+    "EslSemanticError",
+    "EslSyntaxError",
+    "ExceptionReason",
+    "ExceptionSeqOperator",
+    "OperatorWindow",
+    "PairingMode",
+    "QueryHandle",
+    "Schema",
+    "SeqArg",
+    "SeqMatch",
+    "SeqOperator",
+    "SequenceOutcome",
+    "SnapshotView",
+    "StarSeqOperator",
+    "Stream",
+    "SymmetricExistsOperator",
+    "Table",
+    "Tuple",
+    "VirtualClock",
+    "WindowSpec",
+    "describe_handle",
+    "make_sequence_operator",
+    "optimization_report",
+    "pattern_to_sql",
+    "uda_from_callables",
+    "__version__",
+]

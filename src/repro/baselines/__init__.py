@@ -1,0 +1,30 @@
+"""Baselines the paper compares against: the n-way join formulation of
+sequence detection (footnote 3) and an RCEDA-style graph event engine [23]."""
+
+from .join_baseline import JoinSequenceBaseline
+from .rceda import (
+    AndNode,
+    EventInstance,
+    Node,
+    NotNode,
+    OrNode,
+    PrimitiveNode,
+    RcedaEngine,
+    SeqNode,
+    StarContainmentDetector,
+    StarSeqNode,
+)
+
+__all__ = [
+    "AndNode",
+    "EventInstance",
+    "JoinSequenceBaseline",
+    "Node",
+    "NotNode",
+    "OrNode",
+    "PrimitiveNode",
+    "RcedaEngine",
+    "SeqNode",
+    "StarContainmentDetector",
+    "StarSeqNode",
+]

@@ -1,0 +1,14 @@
+"""Benchmark support: metrics and the shared result-table harness."""
+
+from .harness import ResultTable, Timed, sweep
+from .metrics import Accuracy, containment_accuracy, summarize_rows, throughput
+
+__all__ = [
+    "Accuracy",
+    "ResultTable",
+    "Timed",
+    "containment_accuracy",
+    "summarize_rows",
+    "sweep",
+    "throughput",
+]

@@ -1,0 +1,86 @@
+"""Benchmark harness: consistent row/series printing.
+
+The paper has no measurement tables of its own (it is a language-design
+paper), so the harness defines the house format every experiment reports
+in: a named experiment, parameter columns, and measured columns — printed
+as an aligned text table so ``pytest benchmarks/ --benchmark-only -s``
+reads like an evaluation section.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable, Sequence
+
+
+class ResultTable:
+    """An aligned text table accumulated row by row."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_format(value) for value in values])
+
+    def render(self) -> str:
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [f"== {self.title} =="]
+        header = "  ".join(
+            col.ljust(widths[index]) for index, col in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+class Timed:
+    """Context manager measuring wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Timed":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def sweep(values: Iterable[Any], fn: Callable[[Any], Sequence[Any]],
+          table: ResultTable) -> ResultTable:
+    """Run *fn* for each parameter value, adding its row to *table*."""
+    for value in values:
+        table.add(*fn(value))
+    return table

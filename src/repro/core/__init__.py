@@ -1,0 +1,5 @@
+"""The paper's core contribution: ESL-EV temporal operators and language."""
+
+from . import language, operators
+
+__all__ = ["language", "operators"]

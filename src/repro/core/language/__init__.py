@@ -1,0 +1,53 @@
+"""The ESL-EV language front end: lexer, parser, analyzer, compiler."""
+
+from .analyzer import Analysis, ClevelThreshold, analyze
+from .ast_nodes import (
+    CreateAggregate,
+    CreateStream,
+    CreateTable,
+    DurationLiteral,
+    ExistsPredicate,
+    FromItem,
+    FromWindowSyntax,
+    InsertValues,
+    OpWindowSyntax,
+    PreviousRef,
+    SelectItem,
+    SelectStatement,
+    SeqArgSyntax,
+    SeqPredicate,
+    StarAggregate,
+    Statement,
+)
+from .compiler import compile_program, compile_statement
+from .lexer import tokenize
+from .parser import AggregateCall, Parser, parse_expression, parse_program
+
+__all__ = [
+    "AggregateCall",
+    "Analysis",
+    "ClevelThreshold",
+    "CreateAggregate",
+    "CreateStream",
+    "CreateTable",
+    "DurationLiteral",
+    "ExistsPredicate",
+    "FromItem",
+    "FromWindowSyntax",
+    "InsertValues",
+    "OpWindowSyntax",
+    "Parser",
+    "PreviousRef",
+    "SelectItem",
+    "SelectStatement",
+    "SeqArgSyntax",
+    "SeqPredicate",
+    "StarAggregate",
+    "Statement",
+    "analyze",
+    "compile_program",
+    "compile_statement",
+    "parse_expression",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,442 @@
+"""Semantic analysis for ESL-EV SELECT statements.
+
+The analyzer sits between the parser and the compiler.  Given a parsed
+:class:`SelectStatement` and the engine catalogs, it:
+
+* resolves FROM items against the stream/table catalogs;
+* splits the WHERE clause into top-level conjuncts and classifies them:
+  the (at most one) temporal operator predicate, EXISTS sub-queries,
+  CLEVEL_SEQ threshold comparisons, star-gap (``previous``) constraints,
+  equality join keys suitable for partition hoisting, and plain residual
+  predicates;
+* promotes :class:`FunctionCall` nodes to :class:`AggregateCall` when the
+  name is a registered aggregate (SELECT list and HAVING only);
+* determines the query's shape (temporal / aggregate / filter / one-shot
+  table query) and its output behaviour (single-row vs. per-star-tuple
+  multi-return, paper footnote 4).
+
+The result is a :class:`Analysis` record the compiler consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ...dsms.engine import Engine
+from ...dsms.errors import EslSemanticError
+from ...dsms.expressions import (
+    And,
+    Between,
+    BinaryOp,
+    Case,
+    Column,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Or,
+)
+from .ast_nodes import (
+    ExistsPredicate,
+    FromItem,
+    PreviousRef,
+    SelectItem,
+    SelectStatement,
+    SeqPredicate,
+    StarAggregate,
+    iter_and_terms,
+)
+from .parser import AggregateCall
+
+
+class ClevelThreshold:
+    """A ``CLEVEL_SEQ(...) <op> k`` conjunct, normalized.
+
+    ``accepts(level)`` decides whether an outcome with the given completion
+    level satisfies the comparison.
+    """
+
+    __slots__ = ("predicate", "op", "value")
+
+    def __init__(self, predicate: SeqPredicate, op: str, value: float) -> None:
+        self.predicate = predicate
+        self.op = op
+        self.value = value
+
+    def accepts(self, level: int) -> bool:
+        if self.op == "<":
+            return level < self.value
+        if self.op == "<=":
+            return level <= self.value
+        if self.op == ">":
+            return level > self.value
+        if self.op == ">=":
+            return level >= self.value
+        if self.op == "=":
+            return level == self.value
+        if self.op in ("<>", "!="):
+            return level != self.value
+        raise EslSemanticError(f"unsupported CLEVEL comparison {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"ClevelThreshold(level {self.op} {self.value:g})"
+
+
+class SourceInfo:
+    """A resolved FROM item."""
+
+    __slots__ = ("item", "is_stream", "is_table")
+
+    def __init__(self, item: FromItem, is_stream: bool, is_table: bool) -> None:
+        self.item = item
+        self.is_stream = is_stream
+        self.is_table = is_table
+
+    @property
+    def alias(self) -> str:
+        return self.item.alias
+
+    @property
+    def name(self) -> str:
+        return self.item.name
+
+    def __repr__(self) -> str:
+        kind = "stream" if self.is_stream else "table"
+        return f"SourceInfo({self.name} AS {self.alias}: {kind})"
+
+
+class Analysis:
+    """Everything the compiler needs to know about one SELECT statement."""
+
+    def __init__(self, statement: SelectStatement) -> None:
+        self.statement = statement
+        self.sources: list[SourceInfo] = []
+        self.temporal: SeqPredicate | None = None
+        self.clevel: ClevelThreshold | None = None
+        self.exists_terms: list[ExistsPredicate] = []
+        self.gap_terms: list[Expression] = []       # contain PreviousRef
+        self.guard_terms: list[Expression] = []     # everything else
+        self.partition_field: str | None = None     # hoisted equality key
+        self.has_aggregates = False
+        self.multi_return_alias: str | None = None  # starred alias returned per-tuple
+        self.kind = "filter"  # temporal | aggregate | filter | table_query
+
+    def source_for(self, alias: str) -> SourceInfo:
+        for source in self.sources:
+            if source.alias.lower() == alias.lower():
+                return source
+        raise EslSemanticError(
+            f"unknown alias {alias!r}; FROM defines "
+            f"{', '.join(s.alias for s in self.sources)}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Analysis(kind={self.kind}, sources={len(self.sources)}, "
+            f"temporal={self.temporal is not None}, "
+            f"aggregates={self.has_aggregates})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Expression rewriting: FunctionCall -> AggregateCall promotion
+# ---------------------------------------------------------------------------
+
+
+def promote_aggregates(expr: Expression, engine: Engine) -> Expression:
+    """Return *expr* with registered-aggregate calls promoted.
+
+    Only single-argument calls are promoted (SQL aggregates take one
+    argument); multi-argument calls stay scalar functions.
+    """
+    if isinstance(expr, FunctionCall):
+        new_args = [promote_aggregates(arg, engine) for arg in expr.args]
+        if expr.name.lower() in engine.aggregates and len(new_args) <= 1:
+            return AggregateCall(
+                expr.name.lower(), new_args[0] if new_args else None
+            )
+        return FunctionCall(expr.name, new_args)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            promote_aggregates(expr.left, engine),
+            promote_aggregates(expr.right, engine),
+        )
+    if isinstance(expr, And):
+        return And(*(promote_aggregates(op, engine) for op in expr.operands))
+    if isinstance(expr, Or):
+        return Or(*(promote_aggregates(op, engine) for op in expr.operands))
+    if isinstance(expr, Not):
+        return Not(promote_aggregates(expr.operand, engine))
+    if isinstance(expr, Negate):
+        return Negate(promote_aggregates(expr.operand, engine))
+    if isinstance(expr, IsNull):
+        return IsNull(promote_aggregates(expr.operand, engine), expr.negate)
+    if isinstance(expr, Between):
+        return Between(
+            promote_aggregates(expr.operand, engine),
+            promote_aggregates(expr.low, engine),
+            promote_aggregates(expr.high, engine),
+            expr.negate,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            promote_aggregates(expr.operand, engine),
+            [promote_aggregates(option, engine) for option in expr.options],
+            expr.negate,
+        )
+    if isinstance(expr, Like):
+        return Like(
+            promote_aggregates(expr.operand, engine),
+            promote_aggregates(expr.pattern, engine),
+            expr.negate,
+        )
+    if isinstance(expr, Case):
+        return Case(
+            [
+                (
+                    promote_aggregates(cond, engine),
+                    promote_aggregates(value, engine),
+                )
+                for cond, value in expr.branches
+            ],
+            promote_aggregates(expr.default, engine)
+            if expr.default is not None
+            else None,
+        )
+    return expr
+
+
+def collect_aggregate_calls(expr: Expression) -> Iterator[AggregateCall]:
+    """Yield every AggregateCall node in *expr* (depth-first)."""
+    if isinstance(expr, AggregateCall):
+        yield expr
+        return
+    for child in expr.children():
+        yield from collect_aggregate_calls(child)
+
+
+# ---------------------------------------------------------------------------
+# Main analysis
+# ---------------------------------------------------------------------------
+
+
+def analyze(statement: SelectStatement, engine: Engine) -> Analysis:
+    """Analyze *statement* against the engine catalogs."""
+    analysis = Analysis(statement)
+    _resolve_sources(analysis, engine)
+    _promote_select_aggregates(analysis, engine)
+    _classify_where(analysis)
+    _detect_shape(analysis)
+    if analysis.temporal is not None:
+        _hoist_partition_key(analysis)
+        _detect_multi_return(analysis)
+    return analysis
+
+
+def _resolve_sources(analysis: Analysis, engine: Engine) -> None:
+    seen: set[str] = set()
+    for item in analysis.statement.from_items:
+        key = item.alias.lower()
+        if key in seen:
+            raise EslSemanticError(f"duplicate FROM alias {item.alias!r}")
+        seen.add(key)
+        is_stream = item.name in engine.streams
+        is_table = item.name in engine.tables
+        if not is_stream and not is_table:
+            raise EslSemanticError(
+                f"unknown stream or table {item.name!r} in FROM"
+            )
+        analysis.sources.append(SourceInfo(item, is_stream, is_table))
+
+
+def _promote_select_aggregates(analysis: Analysis, engine: Engine) -> None:
+    statement = analysis.statement
+    new_items: list[SelectItem] = []
+    for item in statement.select_items:
+        promoted = promote_aggregates(item.expr, engine)
+        new_items.append(SelectItem(promoted, item.alias))
+    statement.select_items = tuple(new_items)
+    if statement.having is not None:
+        statement.having = promote_aggregates(statement.having, engine)
+    analysis.has_aggregates = any(
+        any(True for _ in collect_aggregate_calls(item.expr))
+        for item in statement.select_items
+    ) or (
+        statement.having is not None
+        and any(True for _ in collect_aggregate_calls(statement.having))
+    )
+
+
+def _contains_seq(expr: Expression) -> bool:
+    if isinstance(expr, SeqPredicate):
+        return True
+    return any(_contains_seq(child) for child in expr.children())
+
+
+def _contains_previous(expr: Expression) -> bool:
+    if isinstance(expr, PreviousRef):
+        return True
+    return any(_contains_previous(child) for child in expr.children())
+
+
+def _classify_where(analysis: Analysis) -> None:
+    statement = analysis.statement
+    for term in iter_and_terms(statement.where):
+        if isinstance(term, SeqPredicate):
+            if analysis.temporal is not None or analysis.clevel is not None:
+                raise EslSemanticError(
+                    "only one temporal operator per query is supported"
+                )
+            analysis.temporal = term
+            continue
+        clevel = _match_clevel(term)
+        if clevel is not None:
+            if analysis.temporal is not None or analysis.clevel is not None:
+                raise EslSemanticError(
+                    "only one temporal operator per query is supported"
+                )
+            analysis.clevel = clevel
+            continue
+        if isinstance(term, ExistsPredicate):
+            analysis.exists_terms.append(term)
+            continue
+        if isinstance(term, Not) and isinstance(term.operand, ExistsPredicate):
+            inner = term.operand
+            analysis.exists_terms.append(
+                ExistsPredicate(inner.query, not inner.negate)
+            )
+            continue
+        if _contains_seq(term):
+            raise EslSemanticError(
+                "temporal operators must appear as top-level AND-terms of "
+                "WHERE (not inside OR/NOT or nested expressions)"
+            )
+        if _contains_previous(term):
+            analysis.gap_terms.append(term)
+            continue
+        analysis.guard_terms.append(term)
+
+
+def _match_clevel(term: Expression) -> ClevelThreshold | None:
+    """Recognize ``(CLEVEL_SEQ(...) OVER [...]) <op> literal`` (either side)."""
+    if not isinstance(term, BinaryOp) or term.op not in (
+        "<", "<=", ">", ">=", "=", "<>", "!=",
+    ):
+        return None
+    left, right = term.left, term.right
+    if isinstance(left, SeqPredicate) and left.op_name == "CLEVEL_SEQ":
+        if not isinstance(right, Literal):
+            raise EslSemanticError("CLEVEL_SEQ must be compared to a literal")
+        return ClevelThreshold(left, term.op, float(right.value))
+    if isinstance(right, SeqPredicate) and right.op_name == "CLEVEL_SEQ":
+        if not isinstance(left, Literal):
+            raise EslSemanticError("CLEVEL_SEQ must be compared to a literal")
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(
+            term.op, term.op
+        )
+        return ClevelThreshold(right, flipped, float(left.value))
+    if isinstance(left, SeqPredicate) or isinstance(right, SeqPredicate):
+        raise EslSemanticError(
+            "SEQ/EXCEPTION_SEQ cannot appear inside comparisons; "
+            "only CLEVEL_SEQ yields a value"
+        )
+    return None
+
+
+def _detect_shape(analysis: Analysis) -> None:
+    statement = analysis.statement
+    if analysis.temporal is not None or analysis.clevel is not None:
+        analysis.kind = "temporal"
+        return
+    if any(source.is_stream for source in analysis.sources):
+        stream_sources = [s for s in analysis.sources if s.is_stream]
+        if len(stream_sources) > 1:
+            raise EslSemanticError(
+                "joining multiple streams requires a temporal operator "
+                "(SEQ/EXCEPTION_SEQ); plain multi-stream joins are not "
+                "supported"
+            )
+        analysis.kind = "aggregate" if (
+            analysis.has_aggregates or statement.group_by
+        ) else "filter"
+        return
+    analysis.kind = "table_query"
+
+
+def _hoist_partition_key(analysis: Analysis) -> None:
+    """Detect an all-aliases equality chain on one shared field.
+
+    ``C1.tagid = C2.tagid AND C1.tagid = C3.tagid AND C1.tagid = C4.tagid``
+    lets the operator shard its state by ``tagid``.  Hoisting requires every
+    temporal-operator alias to join the chain on the *same field name* — the
+    common RFID case.  The hoisted equality terms are *removed* from the
+    guard: per-field partitioning makes them tautological within a
+    partition, and a guard-free operator can apply the RECENT domination
+    purge (the paper's "aggressive purge of tuple history").
+    """
+    predicate = analysis.temporal or (
+        analysis.clevel.predicate if analysis.clevel else None
+    )
+    if predicate is None:
+        return
+    aliases = {arg.name.lower() for arg in predicate.args}
+    if len(aliases) < 2:
+        return
+    joined: dict[str, str] = {}
+    field_names: set[str] = set()
+    hoistable: list[Expression] = []
+    for term in analysis.guard_terms:
+        if not isinstance(term, BinaryOp) or term.op != "=":
+            continue
+        left, right = term.left, term.right
+        if not isinstance(left, Column) or not isinstance(right, Column):
+            continue
+        if left.alias is None or right.alias is None:
+            continue
+        la, ra = left.alias.lower(), right.alias.lower()
+        if la in aliases and ra in aliases:
+            joined[la] = left.field
+            joined[ra] = right.field
+            field_names.add(left.field.lower())
+            field_names.add(right.field.lower())
+            hoistable.append(term)
+    if len(field_names) == 1 and set(joined) == aliases:
+        analysis.partition_field = next(iter(field_names))
+        hoisted = set(map(id, hoistable))
+        analysis.guard_terms = [
+            term for term in analysis.guard_terms if id(term) not in hoisted
+        ]
+
+
+def _detect_multi_return(analysis: Analysis) -> None:
+    """Paper footnote 4: per-tuple output for a single starred argument.
+
+    A SELECT item that references a starred alias directly (``R1.tagid``
+    rather than ``FIRST(R1*).tagid``) requests one output row per tuple of
+    the star run.  Allowed for exactly one starred alias.
+    """
+    predicate = analysis.temporal
+    if predicate is None:
+        return
+    starred = {arg.name.lower() for arg in predicate.args if arg.starred}
+    if not starred:
+        return
+    referenced: set[str] = set()
+    for item in analysis.statement.select_items:
+        for node in item.expr.walk():
+            if isinstance(node, Column) and node.alias is not None:
+                if node.alias.lower() in starred:
+                    referenced.add(node.alias.lower())
+    if not referenced:
+        return
+    if len(referenced) > 1:
+        raise EslSemanticError(
+            "per-tuple return is allowed for only one starred argument "
+            "(paper footnote 4); use FIRST/LAST/COUNT for the others"
+        )
+    analysis.multi_return_alias = next(iter(referenced))

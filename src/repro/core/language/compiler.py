@@ -1,0 +1,1326 @@
+"""Compiler: lowers ESL-EV statements onto the DSMS and operator runtimes.
+
+:func:`compile_program` is the entry point used by
+:meth:`repro.dsms.engine.Engine.query`.  It parses the text, executes DDL
+immediately, and wires each SELECT into a live pipeline:
+
+* **temporal** queries (SEQ / EXCEPTION_SEQ / CLEVEL_SEQ in WHERE) become
+  operator instances from :mod:`repro.core.operators`, with WHERE residuals
+  compiled into operator guards, ``previous`` constraints hoisted into star
+  gap checks, and all-alias equality chains hoisted into state partitioning;
+* **filter** queries over a stream (plus optional tables) become per-tuple
+  evaluation pipelines, with EXISTS sub-queries compiled to window/table
+  probes — or, for symmetric PRECEDING-AND-FOLLOWING windows, to a
+  :class:`~repro.core.operators.subquery.SymmetricExistsOperator`;
+* **aggregate** queries become running (or windowed, or grouped) aggregation
+  states emitting updated rows per arrival;
+* **table queries** execute once and leave their rows on the handle.
+
+Every query in the paper compiles through this module verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ...dsms.engine import Collector, Engine, QueryHandle
+from ...dsms.errors import (
+    EslRuntimeError,
+    EslSemanticError,
+    SchemaError,
+)
+from ...dsms.expressions import Column, Env, Expression, Literal, truthy
+from ...dsms.schema import Schema, TYPE_NAMES, FieldType
+from ...dsms.streams import Stream
+from ...dsms.table import Table
+from ...dsms.tuples import Tuple
+from ...dsms.uda import SqlUda
+from ...dsms.windows import RangeWindowBuffer, RowsWindowBuffer
+from ..operators import (
+    ExceptionSeqOperator,
+    OperatorWindow,
+    PairingMode,
+    SeqArg,
+    SeqMatch,
+    SymmetricExistsOperator,
+    make_sequence_operator,
+)
+from ..operators.exception_seq import SequenceOutcome
+from .analyzer import (
+    Analysis,
+    ClevelThreshold,
+    analyze,
+    collect_aggregate_calls,
+)
+from .ast_nodes import (
+    CreateAggregate,
+    CreateStream,
+    CreateTable,
+    DeleteStatement,
+    ExistsPredicate,
+    FromItem,
+    InsertValues,
+    PreviousRef,
+    SelectItem,
+    SelectStatement,
+    SeqPredicate,
+    StarAggregate,
+    Statement,
+    UpdateStatement,
+    iter_and_terms,
+)
+from .parser import AggregateCall, parse_program
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def compile_program(engine: Engine, text: str, label: str) -> QueryHandle:
+    """Compile every statement in *text*; return the last statement's handle."""
+    statements = parse_program(text)
+    handle: QueryHandle | None = None
+    for index, statement in enumerate(statements):
+        suffix = f"{label}[{index}]" if len(statements) > 1 else label
+        handle = compile_statement(engine, statement, suffix)
+    assert handle is not None  # parse_program rejects empty programs
+    return handle
+
+
+def compile_statement(engine: Engine, statement: Statement, label: str) -> QueryHandle:
+    if isinstance(statement, CreateStream):
+        engine.create_stream(statement.name, _columns_to_schema(statement.columns))
+        return _ddl_handle(engine, label)
+    if isinstance(statement, CreateTable):
+        engine.create_table(statement.name, _columns_to_schema(statement.columns))
+        return _ddl_handle(engine, label)
+    if isinstance(statement, CreateAggregate):
+        uda = SqlUda(
+            statement.name,
+            statement.init_block,
+            statement.iterate_block,
+            statement.terminate_expr,
+            functions=engine.functions.as_mapping(),
+            param=statement.param,
+        )
+        engine.register_uda(statement.name, uda.factory())
+        return _ddl_handle(engine, label)
+    if isinstance(statement, InsertValues):
+        return _compile_insert_values(engine, statement, label)
+    if isinstance(statement, DeleteStatement):
+        return _execute_delete(engine, statement, label)
+    if isinstance(statement, UpdateStatement):
+        return _execute_update(engine, statement, label)
+    if isinstance(statement, SelectStatement):
+        return _compile_select(engine, statement, label)
+    raise EslSemanticError(f"unsupported statement type {type(statement).__name__}")
+
+
+def _ddl_handle(engine: Engine, label: str) -> QueryHandle:
+    handle = QueryHandle(engine, label, None, Collector(label))
+    return engine.register_query(handle)
+
+
+def _columns_to_schema(columns: Sequence[tuple[str, str | None]]) -> Schema:
+    fields = []
+    for name, type_name in columns:
+        if type_name is None:
+            fields.append((name, FieldType.ANY))
+        else:
+            key = type_name.lower()
+            if key not in TYPE_NAMES:
+                raise EslSemanticError(f"unknown column type {type_name!r}")
+            fields.append((name, TYPE_NAMES[key]))
+    return Schema(fields)
+
+
+def _compile_insert_values(
+    engine: Engine, statement: InsertValues, label: str
+) -> QueryHandle:
+    if statement.target not in engine.tables:
+        raise EslSemanticError(
+            f"INSERT ... VALUES targets a table; {statement.target!r} is not one"
+        )
+    table = engine.tables.get(statement.target)
+    env = Env(functions=engine.functions.as_mapping())
+    for row in statement.rows:
+        table.insert([expr.eval(env) for expr in row])
+    return _ddl_handle(engine, label)
+
+
+def _row_predicate(engine: Engine, table: Table, where):
+    """Build a row-level predicate for DELETE/UPDATE (the table's columns
+    are in scope unqualified or under the table name)."""
+    if where is None:
+        return lambda row: True
+
+    def predicate(row) -> bool:
+        tup = Tuple(table.schema, row, 0.0, table.name)
+        env = Env(
+            {table.name.lower(): tup}, engine.functions.as_mapping()
+        )
+        return truthy(where.eval(env))
+
+    return predicate
+
+
+def _execute_delete(engine: Engine, statement: DeleteStatement, label: str) -> QueryHandle:
+    table = engine.tables.get(statement.target)
+    removed = table.delete_where(_row_predicate(engine, table, statement.where))
+    handle = _ddl_handle(engine, label)
+    handle.affected_rows = removed  # type: ignore[attr-defined]
+    return handle
+
+
+def _execute_update(engine: Engine, statement: UpdateStatement, label: str) -> QueryHandle:
+    table = engine.tables.get(statement.target)
+    predicate = _row_predicate(engine, table, statement.where)
+    changed = 0
+    for row in list(table.rows()):
+        if not predicate(row):
+            continue
+        tup = Tuple(table.schema, row, 0.0, table.name)
+        env = Env({table.name.lower(): tup}, engine.functions.as_mapping())
+        updates = {
+            column: expr.eval(env) for column, expr in statement.assignments
+        }
+        table.update_where(lambda r, target=row: r is target or r == target, updates)
+        changed += 1
+    handle = _ddl_handle(engine, label)
+    handle.affected_rows = changed  # type: ignore[attr-defined]
+    return handle
+
+
+# ---------------------------------------------------------------------------
+# SELECT compilation
+# ---------------------------------------------------------------------------
+
+
+def _compile_select(
+    engine: Engine, statement: SelectStatement, label: str
+) -> QueryHandle:
+    analysis = analyze(statement, engine)
+    if analysis.kind == "temporal":
+        return _compile_temporal(engine, analysis, label)
+    if analysis.kind == "table_query":
+        return _compile_table_query(engine, analysis, label)
+    symmetric = _find_symmetric_exists(analysis)
+    if symmetric is not None:
+        return _compile_symmetric(engine, analysis, symmetric, label)
+    if analysis.kind == "aggregate":
+        return _compile_aggregate(engine, analysis, label)
+    return _compile_filter(engine, analysis, label)
+
+
+# -- output plumbing ----------------------------------------------------------
+
+
+class _Sink:
+    """Where result rows go: a derived stream, a table, or a collector."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        target: str | None,
+        schema: Schema,
+        label: str,
+    ) -> None:
+        self.engine = engine
+        self.schema = schema
+        self.stream: Stream | None = None
+        self.table: Table | None = None
+        self.collector: Collector | None = None
+        if target is None:
+            self.collector = Collector(label)
+        elif target in engine.tables:
+            self.table = engine.tables.get(target)
+            self._check_arity(len(self.table.schema))
+        elif target in engine.streams:
+            self.stream = engine.streams.get(target)
+            self._check_arity(len(self.stream.schema))
+        else:
+            # Auto-create the derived stream with the projected schema —
+            # convenient for pipelines whose DDL omits intermediates.
+            self.stream = engine.create_stream(target, schema)
+
+    def _check_arity(self, expected: int) -> None:
+        if len(self.schema) != expected:
+            raise EslSemanticError(
+                f"SELECT produces {len(self.schema)} columns but the INSERT "
+                f"target expects {expected}"
+            )
+
+    def emit(self, values: Sequence[Any], ts: float) -> None:
+        if self.table is not None:
+            self.table.insert(list(values))
+        elif self.stream is not None:
+            self.stream.push(Tuple(self.stream.schema, values, ts))
+        else:
+            assert self.collector is not None
+            self.collector(Tuple(self.schema, values, ts))
+
+
+def _unique_names(raw: Sequence[str]) -> list[str]:
+    seen: dict[str, int] = {}
+    out: list[str] = []
+    for name in raw:
+        base = name or "col"
+        if base not in seen:
+            seen[base] = 1
+            out.append(base)
+        else:
+            seen[base] += 1
+            out.append(f"{base}_{seen[base]}")
+    return out
+
+
+def _item_name(item: SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    expr = item.expr
+    if isinstance(expr, Column):
+        return expr.field
+    if isinstance(expr, StarAggregate):
+        if expr.field:
+            return f"{expr.func}_{expr.alias}_{expr.field}"
+        return f"{expr.func}_{expr.alias}"
+    if isinstance(expr, AggregateCall):
+        if expr.arg is None:
+            return expr.name.replace("(*)", "_all")
+        if isinstance(expr.arg, Column):
+            return f"{expr.name}_{expr.arg.field}"
+        return expr.name
+    return f"col{index + 1}"
+
+
+def _select_schema(items: Sequence[SelectItem]) -> Schema:
+    names = _unique_names([_item_name(item, i) for i, item in enumerate(items)])
+    return Schema.of(*names)
+
+
+def _expand_star_items(
+    analysis: Analysis, engine: Engine
+) -> list[SelectItem]:
+    """Expand ``SELECT *`` into explicit column items."""
+    items: list[SelectItem] = []
+    for source in analysis.sources:
+        schema = (
+            engine.streams.get(source.name).schema
+            if source.is_stream
+            else engine.tables.get(source.name).schema
+        )
+        many = len(analysis.sources) > 1
+        for field in schema.names:
+            name = f"{source.alias}_{field}" if many else field
+            items.append(SelectItem(Column(field, alias=source.alias), name))
+    return items
+
+
+def _resolved_items(analysis: Analysis, engine: Engine) -> list[SelectItem]:
+    if analysis.statement.select_star:
+        return _expand_star_items(analysis, engine)
+    return list(analysis.statement.select_items)
+
+
+# -- shared predicate helpers ---------------------------------------------------
+
+
+def _make_env(engine: Engine, bindings: Mapping[str, Any]) -> Env:
+    env = Env(functions=engine.functions.as_mapping())
+    for alias, bound in bindings.items():
+        env.bindings[alias.lower()] = bound  # may be a Tuple or a star run list
+    return env
+
+
+def _eval_term_lenient(term: Expression, env: Env) -> bool:
+    """Evaluate a predicate term; unbound aliases / star runs count as pass.
+
+    This is the guard discipline: a conjunct that cannot be checked yet must
+    not reject the candidate (it will be checked when its references bind).
+    """
+    try:
+        return term.eval(env) is not False
+    except (EslRuntimeError, TypeError):
+        return True
+
+
+def _compile_where_probe(
+    engine: Engine,
+    terms: Sequence[Expression],
+    exists_probes: Sequence[Callable[[Env], bool]],
+) -> Callable[[Env], bool]:
+    """A strict WHERE evaluator over residual terms plus compiled EXISTS."""
+
+    def check(env: Env) -> bool:
+        for term in terms:
+            if not truthy(term.eval(env)):
+                return False
+        for probe in exists_probes:
+            if not probe(env):
+                return False
+        return True
+
+    return check
+
+
+# ---------------------------------------------------------------------------
+# EXISTS sub-queries
+# ---------------------------------------------------------------------------
+
+
+def _find_symmetric_exists(analysis: Analysis) -> ExistsPredicate | None:
+    """Detect an Example-8 style symmetric-window EXISTS conjunct."""
+    for exists in analysis.exists_terms:
+        inner = exists.query
+        if len(inner.from_items) != 1:
+            continue
+        window = inner.from_items[0].window
+        if window is not None and window.symmetric:
+            return exists
+    return None
+
+
+def _compile_exists_probe(
+    engine: Engine,
+    exists: ExistsPredicate,
+    outer_alias: str | None,
+    teardowns: list[Callable[[], None]],
+) -> Callable[[Env], bool]:
+    """Compile EXISTS/NOT EXISTS into a synchronous probe.
+
+    Supports: table sub-queries (correlated, Example 2), and windowed stream
+    sub-queries anchored at the current outer tuple (Example 1).  Symmetric
+    windows never reach here (handled by :func:`_compile_symmetric`).
+    """
+    inner = exists.query
+    if len(inner.from_items) != 1:
+        raise EslSemanticError("EXISTS sub-queries must have a single FROM item")
+    item = inner.from_items[0]
+    inner_terms = list(iter_and_terms(inner.where))
+    nested = [t for t in inner_terms if isinstance(t, ExistsPredicate)]
+    plain = [t for t in inner_terms if not isinstance(t, ExistsPredicate)]
+    nested_probes = [
+        _compile_exists_probe(engine, sub, outer_alias, teardowns)
+        for sub in nested
+    ]
+    if any(isinstance(t, SeqPredicate) for t in plain):
+        raise EslSemanticError("temporal operators are not allowed in EXISTS")
+
+    if item.name in engine.tables:
+        table = engine.tables.get(item.name)
+
+        def table_probe(env: Env) -> bool:
+            for row_tuple in table.as_tuples():
+                child = env.child({item.alias.lower(): row_tuple})
+                if all(truthy(t.eval(child)) for t in plain) and all(
+                    probe(child) for probe in nested_probes
+                ):
+                    return not exists.negate
+            return exists.negate
+
+        return table_probe
+
+    # Stream sub-query: needs a window (unbounded stream scans are rejected).
+    if item.name not in engine.streams:
+        raise EslSemanticError(f"unknown stream or table {item.name!r} in EXISTS")
+    window = item.window
+    if window is None:
+        raise EslSemanticError(
+            "EXISTS over a stream requires a window "
+            "(e.g. TABLE(s OVER (RANGE 1 SECONDS PRECEDING CURRENT)))"
+        )
+    if window.symmetric:
+        raise EslSemanticError(
+            "symmetric EXISTS windows compile to a dedicated operator; "
+            "they cannot be combined with other query shapes"
+        )
+    stream = engine.streams.get(item.name)
+    buffer: RangeWindowBuffer | RowsWindowBuffer
+    row_limit: int | None = None
+    if window.kind == "rows":
+        row_limit = int(window.preceding or 0)
+        # When the sub-query reads the same stream as the outer query, the
+        # probing tuple itself sits in the buffer (it is excluded from the
+        # probe by identity) — hold one extra row so N true predecessors
+        # remain visible; the probe re-applies the N limit below.
+        buffer = RowsWindowBuffer(row_limit + 1)
+    else:
+        buffer = RangeWindowBuffer(window.preceding)
+    teardowns.append(stream.subscribe(buffer.append))
+    duration = window.preceding if window.preceding is not None else float("inf")
+
+    def stream_probe(env: Env) -> bool:
+        anchor_name = (
+            window.anchor if window.anchor != "CURRENT" else outer_alias
+        )
+        if anchor_name is None:
+            raise EslRuntimeError(
+                "windowed EXISTS needs an outer stream tuple to anchor on"
+            )
+        anchor = env.lookup_alias(anchor_name)
+        if isinstance(buffer, RangeWindowBuffer):
+            candidates = list(
+                buffer.tuples_preceding(anchor, duration, include_anchor=False)
+            )
+        else:
+            candidates = list(
+                buffer.tuples_preceding(anchor, include_anchor=False)
+            )
+            if row_limit is not None:
+                candidates = candidates[-row_limit:] if row_limit else []
+        for candidate in candidates:
+            child = env.child({item.alias.lower(): candidate})
+            if all(truthy(t.eval(child)) for t in plain) and all(
+                probe(child) for probe in nested_probes
+            ):
+                return not exists.negate
+        return exists.negate
+
+    return stream_probe
+
+
+# ---------------------------------------------------------------------------
+# Filter queries (single stream + optional tables)
+# ---------------------------------------------------------------------------
+
+
+def _stream_source(analysis: Analysis) -> Any:
+    streams = [s for s in analysis.sources if s.is_stream]
+    if len(streams) != 1:
+        raise EslSemanticError("expected exactly one stream source")
+    return streams[0]
+
+
+def _compile_filter(engine: Engine, analysis: Analysis, label: str) -> QueryHandle:
+    statement = analysis.statement
+    source = _stream_source(analysis)
+    if source.item.window is not None:
+        raise EslSemanticError(
+            "a window on the main FROM stream is only meaningful for "
+            "aggregates; use SnapshotView for ad-hoc windowed scans"
+        )
+    table_sources = [s for s in analysis.sources if s.is_table]
+    items = _resolved_items(analysis, engine)
+    schema = _select_schema(items)
+    sink = _Sink(engine, statement.insert_into, schema, label)
+    teardowns: list[Callable[[], None]] = []
+    exists_probes = [
+        _compile_exists_probe(engine, ex, source.alias, teardowns)
+        for ex in analysis.exists_terms
+    ]
+    check = _compile_where_probe(engine, analysis.guard_terms, exists_probes)
+    stream = engine.streams.get(source.name)
+
+    def bind_tables(env: Env, depth: int) -> Any:
+        """Nested-loop the table sources; yields fully-bound envs."""
+        if depth == len(table_sources):
+            yield env
+            return
+        table_source = table_sources[depth]
+        table = engine.tables.get(table_source.name)
+        for row_tuple in table.as_tuples():
+            env.bindings[table_source.alias.lower()] = row_tuple
+            yield from bind_tables(env, depth + 1)
+        env.bindings.pop(table_source.alias.lower(), None)
+
+    def on_tuple(tup: Tuple) -> None:
+        base = _make_env(engine, {source.alias: tup})
+        for env in bind_tables(base, 0):
+            if not check(env):
+                continue
+            values = [item.expr.eval(env) for item in items]
+            sink.emit(values, tup.ts)
+
+    teardowns.append(stream.subscribe(on_tuple))
+    handle = QueryHandle(engine, label, sink.stream, sink.collector, teardowns)
+    handle.sink_table = sink.table  # type: ignore[attr-defined]
+    return engine.register_query(handle)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate queries
+# ---------------------------------------------------------------------------
+
+
+class _AggSlot(Expression):
+    """Placeholder for an aggregate's current value inside a select item."""
+
+    __slots__ = ("cell",)
+
+    def __init__(self) -> None:
+        self.cell: list[Any] = [None]
+
+    def eval(self, env: Env) -> Any:
+        return self.cell[0]
+
+    def __repr__(self) -> str:
+        return f"_AggSlot({self.cell[0]!r})"
+
+
+def _rewrite_with_slots(
+    expr: Expression, slots: dict[int, tuple[AggregateCall, _AggSlot]]
+) -> Expression:
+    """Replace AggregateCall nodes with slots, registering them by identity."""
+    if isinstance(expr, AggregateCall):
+        slot = _AggSlot()
+        slots[id(expr)] = (expr, slot)
+        return slot
+    # Reuse the promote machinery's shape: rebuild known node types.
+    from ...dsms.expressions import (
+        And, Between, BinaryOp, Case, InList, IsNull, Like, Negate, Not, Or,
+        FunctionCall,
+    )
+
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            _rewrite_with_slots(expr.left, slots),
+            _rewrite_with_slots(expr.right, slots),
+        )
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name, [_rewrite_with_slots(a, slots) for a in expr.args]
+        )
+    if isinstance(expr, And):
+        return And(*(_rewrite_with_slots(o, slots) for o in expr.operands))
+    if isinstance(expr, Or):
+        return Or(*(_rewrite_with_slots(o, slots) for o in expr.operands))
+    if isinstance(expr, Not):
+        return Not(_rewrite_with_slots(expr.operand, slots))
+    if isinstance(expr, Negate):
+        return Negate(_rewrite_with_slots(expr.operand, slots))
+    if isinstance(expr, IsNull):
+        return IsNull(_rewrite_with_slots(expr.operand, slots), expr.negate)
+    if isinstance(expr, Between):
+        return Between(
+            _rewrite_with_slots(expr.operand, slots),
+            _rewrite_with_slots(expr.low, slots),
+            _rewrite_with_slots(expr.high, slots),
+            expr.negate,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            _rewrite_with_slots(expr.operand, slots),
+            [_rewrite_with_slots(o, slots) for o in expr.options],
+            expr.negate,
+        )
+    if isinstance(expr, Like):
+        return Like(
+            _rewrite_with_slots(expr.operand, slots),
+            _rewrite_with_slots(expr.pattern, slots),
+            expr.negate,
+        )
+    if isinstance(expr, Case):
+        return Case(
+            [
+                (_rewrite_with_slots(c, slots), _rewrite_with_slots(v, slots))
+                for c, v in expr.branches
+            ],
+            _rewrite_with_slots(expr.default, slots)
+            if expr.default is not None
+            else None,
+        )
+    return expr
+
+
+class _AggState:
+    """Aggregate states for one group key."""
+
+    __slots__ = ("entries", "states")
+
+    def __init__(self, engine: Engine, calls: Sequence[AggregateCall]) -> None:
+        self.entries = [
+            (call, engine.aggregates.create(call.name)) for call in calls
+        ]
+        self.states = [agg.initialize() for _call, agg in self.entries]
+
+    def update(self, env: Env) -> None:
+        for index, (call, agg) in enumerate(self.entries):
+            value = call.arg.eval(env) if call.arg is not None else 1
+            self.states[index] = agg.iterate(self.states[index], value)
+
+    def values(self) -> list[Any]:
+        return [
+            agg.terminate(state)
+            for (_call, agg), state in zip(self.entries, self.states)
+        ]
+
+
+def _compile_aggregate(engine: Engine, analysis: Analysis, label: str) -> QueryHandle:
+    statement = analysis.statement
+    source = _stream_source(analysis)
+    if [s for s in analysis.sources if s.is_table]:
+        raise EslSemanticError(
+            "aggregate queries over stream-table joins are not supported; "
+            "stage the join through a derived stream first"
+        )
+    items = _resolved_items(analysis, engine)
+    # Replace aggregate calls with slots.
+    slots: dict[int, tuple[AggregateCall, _AggSlot]] = {}
+    rewritten: list[SelectItem] = []
+    for item in items:
+        rewritten.append(
+            SelectItem(_rewrite_with_slots(item.expr, slots), item.alias)
+        )
+    having = (
+        _rewrite_with_slots(statement.having, slots)
+        if statement.having is not None
+        else None
+    )
+    calls = [call for call, _slot in slots.values()]
+    slot_list = [slot for _call, slot in slots.values()]
+    schema = _select_schema(items)
+    sink = _Sink(engine, statement.insert_into, schema, label)
+    teardowns: list[Callable[[], None]] = []
+    exists_probes = [
+        _compile_exists_probe(engine, ex, source.alias, teardowns)
+        for ex in analysis.exists_terms
+    ]
+    check = _compile_where_probe(engine, analysis.guard_terms, exists_probes)
+    stream = engine.streams.get(source.name)
+    group_exprs = list(statement.group_by)
+
+    window = source.item.window
+    window_buffer: RangeWindowBuffer | RowsWindowBuffer | None = None
+    if window is not None:
+        if window.symmetric or window.anchor != "CURRENT":
+            raise EslSemanticError(
+                "aggregate windows must be RANGE/ROWS ... PRECEDING CURRENT"
+            )
+        if window.kind == "rows":
+            window_buffer = RowsWindowBuffer(int(window.preceding or 0))
+        else:
+            window_buffer = RangeWindowBuffer(window.preceding)
+
+    # Running (cumulative) state per group key.
+    groups: dict[Any, _AggState] = {}
+
+    def group_key(env: Env) -> Any:
+        if not group_exprs:
+            return None
+        return tuple(expr.eval(env) for expr in group_exprs)
+
+    def emit_row(env: Env, agg_values: Sequence[Any], ts: float) -> None:
+        for slot, value in zip(slot_list, agg_values):
+            slot.cell[0] = value
+        if having is not None and not truthy(having.eval(env)):
+            return
+        sink.emit([item.expr.eval(env) for item in rewritten], ts)
+
+    def on_tuple(tup: Tuple) -> None:
+        env = _make_env(engine, {source.alias: tup})
+        if not check(env):
+            return
+        if window_buffer is not None:
+            window_buffer.append(tup)
+            key = group_key(env)
+            # Recompute over the (possibly grouped) window contents.
+            fresh = _AggState(engine, calls)
+            values_per_call: list[Any] = []
+            for call, agg in fresh.entries:
+                state = agg.initialize()
+                for held in window_buffer:
+                    held_env = _make_env(engine, {source.alias: held})
+                    if not check(held_env):
+                        continue
+                    if group_key(held_env) != key:
+                        continue
+                    value = call.arg.eval(held_env) if call.arg is not None else 1
+                    state = agg.iterate(state, value)
+                values_per_call.append(agg.terminate(state))
+            emit_row(env, values_per_call, tup.ts)
+            return
+        key = group_key(env)
+        state = groups.get(key)
+        if state is None:
+            state = _AggState(engine, calls)
+            groups[key] = state
+        state.update(env)
+        emit_row(env, state.values(), tup.ts)
+
+    teardowns.append(stream.subscribe(on_tuple))
+    handle = QueryHandle(engine, label, sink.stream, sink.collector, teardowns)
+    handle.sink_table = sink.table  # type: ignore[attr-defined]
+    return engine.register_query(handle)
+
+
+# ---------------------------------------------------------------------------
+# One-shot table queries
+# ---------------------------------------------------------------------------
+
+
+def _compile_table_query(
+    engine: Engine, analysis: Analysis, label: str
+) -> QueryHandle:
+    statement = analysis.statement
+    items = _resolved_items(analysis, engine)
+    schema = _select_schema(items)
+    sink = _Sink(engine, statement.insert_into, schema, label)
+    teardowns: list[Callable[[], None]] = []
+    exists_probes = [
+        _compile_exists_probe(engine, ex, None, teardowns)
+        for ex in analysis.exists_terms
+    ]
+    check = _compile_where_probe(engine, analysis.guard_terms, exists_probes)
+
+    def bind(depth: int, env: Env) -> Any:
+        if depth == len(analysis.sources):
+            yield env
+            return
+        source = analysis.sources[depth]
+        table = engine.tables.get(source.name)
+        for row_tuple in table.as_tuples():
+            env.bindings[source.alias.lower()] = row_tuple
+            yield from bind(depth + 1, env)
+        env.bindings.pop(source.alias.lower(), None)
+
+    base = _make_env(engine, {})
+    if analysis.has_aggregates:
+        slots: dict[int, tuple[AggregateCall, _AggSlot]] = {}
+        rewritten = [
+            SelectItem(_rewrite_with_slots(item.expr, slots), item.alias)
+            for item in items
+        ]
+        calls = [call for call, _slot in slots.values()]
+        slot_list = [slot for _call, slot in slots.values()]
+        fresh = _AggState(engine, calls)
+        states = [(call, agg, agg.initialize()) for call, agg in fresh.entries]
+        updated = []
+        for call, agg, state in states:
+            for env in bind(0, base):
+                if not check(env):
+                    continue
+                value = call.arg.eval(env) if call.arg is not None else 1
+                state = agg.iterate(state, value)
+            updated.append(agg.terminate(state))
+        for slot, value in zip(slot_list, updated):
+            slot.cell[0] = value
+        sink.emit([item.expr.eval(base) for item in rewritten], engine.now)
+    else:
+        for env in bind(0, base):
+            if not check(env):
+                continue
+            sink.emit([item.expr.eval(env) for item in items], engine.now)
+    handle = QueryHandle(engine, label, sink.stream, sink.collector, teardowns)
+    handle.sink_table = sink.table  # type: ignore[attr-defined]
+    return engine.register_query(handle)
+
+
+# ---------------------------------------------------------------------------
+# Symmetric-window EXISTS (Example 8)
+# ---------------------------------------------------------------------------
+
+
+def _compile_symmetric(
+    engine: Engine,
+    analysis: Analysis,
+    exists: ExistsPredicate,
+    label: str,
+) -> QueryHandle:
+    statement = analysis.statement
+    source = _stream_source(analysis)
+    if len(analysis.exists_terms) != 1 or analysis.has_aggregates:
+        raise EslSemanticError(
+            "a symmetric-window EXISTS must be the only sub-query of a "
+            "plain filter query"
+        )
+    inner = exists.query
+    item = inner.from_items[0]
+    window = item.window
+    assert window is not None
+    if window.anchor.lower() != source.alias.lower():
+        raise EslSemanticError(
+            f"symmetric window anchor {window.anchor!r} must be the outer "
+            f"FROM alias {source.alias!r}"
+        )
+    if item.name not in engine.streams:
+        raise EslSemanticError("symmetric EXISTS requires a stream sub-query")
+    inner_terms = list(iter_and_terms(inner.where))
+    if any(isinstance(t, (ExistsPredicate, SeqPredicate)) for t in inner_terms):
+        raise EslSemanticError("nested predicates are not allowed here")
+
+    items = _resolved_items(analysis, engine)
+    schema = _select_schema(items)
+    sink = _Sink(engine, statement.insert_into, schema, label)
+    guard_terms = analysis.guard_terms
+
+    def outer_where(tup: Tuple) -> bool:
+        env = _make_env(engine, {source.alias: tup})
+        return all(truthy(t.eval(env)) for t in guard_terms)
+
+    def inner_where(candidate: Tuple, outer: Tuple) -> bool:
+        env = _make_env(engine, {source.alias: outer, item.alias: candidate})
+        return all(truthy(t.eval(env)) for t in inner_terms)
+
+    def on_result(outer: Tuple, decided_at: float) -> None:
+        env = _make_env(engine, {source.alias: outer})
+        sink.emit([sel.expr.eval(env) for sel in items], decided_at)
+
+    operator = SymmetricExistsOperator(
+        engine,
+        outer_stream=source.name,
+        inner_stream=item.name,
+        preceding=window.preceding or 0.0,
+        following=window.following,
+        outer_where=outer_where,
+        inner_where=inner_where,
+        negate=exists.negate,
+        on_result=on_result,
+    )
+    handle = QueryHandle(
+        engine, label, sink.stream, sink.collector, [operator.stop]
+    )
+    handle.operator = operator  # type: ignore[attr-defined]
+    handle.sink_table = sink.table  # type: ignore[attr-defined]
+    return engine.register_query(handle)
+
+
+# ---------------------------------------------------------------------------
+# Temporal queries
+# ---------------------------------------------------------------------------
+
+
+def _build_seq_args(
+    engine: Engine, analysis: Analysis, predicate: SeqPredicate
+) -> list[SeqArg]:
+    args: list[SeqArg] = []
+    gap_terms_by_alias: dict[str, list[Expression]] = {}
+    for term in analysis.gap_terms:
+        aliases = {
+            node.alias.lower()
+            for node in term.walk()
+            if isinstance(node, PreviousRef)
+        }
+        if len(aliases) != 1:
+            raise EslSemanticError(
+                "a 'previous' constraint must reference exactly one argument"
+            )
+        gap_terms_by_alias.setdefault(next(iter(aliases)), []).append(term)
+
+    starred_aliases = {a.name.lower() for a in predicate.args if a.starred}
+    for alias, terms in gap_terms_by_alias.items():
+        if alias not in starred_aliases:
+            raise EslSemanticError(
+                f"'previous' constraint on {alias!r}, which is not a starred "
+                "argument of the temporal operator"
+            )
+
+    for arg_syntax in predicate.args:
+        source = analysis.source_for(arg_syntax.name)
+        if not source.is_stream:
+            raise EslSemanticError(
+                f"temporal operator argument {arg_syntax.name!r} must be a "
+                "stream"
+            )
+        gap_check = None
+        alias_key = arg_syntax.name.lower()
+        if alias_key in gap_terms_by_alias:
+            terms = gap_terms_by_alias[alias_key]
+            functions = engine.functions.as_mapping()
+
+            def make_check(
+                terms: Sequence[Expression], alias: str
+            ) -> Callable[[Tuple, Tuple], bool]:
+                def gap_check(prev: Tuple, cur: Tuple) -> bool:
+                    env = Env(functions=functions)
+                    env.bindings[alias] = cur
+                    env.bindings[f"{alias}.previous"] = prev
+                    return all(truthy(term.eval(env)) for term in terms)
+
+                return gap_check
+
+            gap_check = make_check(terms, alias_key)
+        args.append(
+            SeqArg(
+                source.name,
+                alias=arg_syntax.name,
+                starred=arg_syntax.starred,
+                gap_check=gap_check,
+            )
+        )
+    return args
+
+
+def _build_window(
+    predicate: SeqPredicate, args: Sequence[SeqArg]
+) -> OperatorWindow | None:
+    if predicate.window is None:
+        return None
+    anchor_name = predicate.window.anchor.lower()
+    for index, arg in enumerate(args):
+        if arg.alias.lower() == anchor_name:
+            return OperatorWindow(
+                predicate.window.seconds, index, predicate.window.direction
+            )
+    raise EslSemanticError(
+        f"window anchor {predicate.window.anchor!r} is not an operator argument"
+    )
+
+
+def _make_guard(
+    engine: Engine, guard_terms: Sequence[Expression]
+) -> Callable[[Mapping[str, Any]], bool] | None:
+    if not guard_terms:
+        return None
+    functions = engine.functions.as_mapping()
+
+    def guard(bindings: Mapping[str, Any]) -> bool:
+        env = Env(functions=functions)
+        for alias, bound in bindings.items():
+            env.bindings[alias.lower()] = bound
+        return all(_eval_term_lenient(term, env) for term in guard_terms)
+
+    return guard
+
+
+def _compile_temporal(engine: Engine, analysis: Analysis, label: str) -> QueryHandle:
+    statement = analysis.statement
+    if statement.group_by or statement.having is not None:
+        raise EslSemanticError(
+            "GROUP BY / HAVING cannot be combined with temporal operators"
+        )
+    predicate = analysis.temporal or analysis.clevel.predicate  # type: ignore[union-attr]
+    if analysis.exists_terms:
+        raise EslSemanticError(
+            "EXISTS sub-queries cannot be combined with temporal operators"
+        )
+    args = _build_seq_args(engine, analysis, predicate)
+    window = _build_window(predicate, args)
+    guard = _make_guard(engine, analysis.guard_terms)
+    partition_by = None
+    if analysis.partition_field is not None:
+        field = analysis.partition_field
+
+        def partition_by(tup: Tuple) -> Any:  # noqa: F811
+            return tup.get(field)
+
+    items = _resolved_items_temporal(analysis, engine, args)
+    schema = _select_schema(items)
+    sink = _Sink(engine, statement.insert_into, schema, label)
+
+    if predicate.op_name == "SEQ":
+        return _wire_seq(
+            engine, analysis, predicate, args, window, guard, partition_by,
+            items, sink, label,
+        )
+    return _wire_exception_seq(
+        engine, analysis, predicate, args, window, guard, partition_by,
+        items, sink, label,
+    )
+
+
+def _resolved_items_temporal(
+    analysis: Analysis, engine: Engine, args: Sequence[SeqArg]
+) -> list[SelectItem]:
+    if not analysis.statement.select_star:
+        return list(analysis.statement.select_items)
+    # SELECT * over a temporal match: flatten plain aliases; starred aliases
+    # contribute their run count (per-tuple expansion must be explicit).
+    items: list[SelectItem] = []
+    for arg in args:
+        schema = engine.streams.get(arg.stream).schema
+        if arg.starred:
+            items.append(
+                SelectItem(StarAggregate("COUNT", arg.alias), f"{arg.alias}_count")
+            )
+            continue
+        for field in schema.names:
+            items.append(
+                SelectItem(Column(field, alias=arg.alias), f"{arg.alias}_{field}")
+            )
+    return items
+
+
+def _eval_item(item: SelectItem, env: Env) -> Any:
+    """Evaluate a select item, yielding NULL for unbound references
+    (EXCEPTION_SEQ partial sequences leave later stages unbound)."""
+    try:
+        return item.expr.eval(env)
+    except EslRuntimeError:
+        return None
+
+
+def _wire_seq(
+    engine: Engine,
+    analysis: Analysis,
+    predicate: SeqPredicate,
+    args: list[SeqArg],
+    window: OperatorWindow | None,
+    guard: Callable[[Mapping[str, Any]], bool] | None,
+    partition_by: Callable[[Tuple], Any] | None,
+    items: list[SelectItem],
+    sink: _Sink,
+    label: str,
+) -> QueryHandle:
+    mode = (
+        PairingMode.parse(predicate.mode)
+        if predicate.mode is not None
+        else PairingMode.UNRESTRICTED
+    )
+    multi_alias = analysis.multi_return_alias
+
+    def on_match(match: SeqMatch) -> None:
+        env = _make_env(
+            engine, {alias: bound for alias, bound in match.bindings.items()}
+        )
+        if multi_alias is not None:
+            run = match.run_for(multi_alias)
+            for tup in run:
+                child = env.child({multi_alias: tup})
+                sink.emit([_eval_item(item, child) for item in items], match.ts)
+            return
+        sink.emit([_eval_item(item, env) for item in items], match.ts)
+
+    operator = make_sequence_operator(
+        engine,
+        args,
+        mode=mode,
+        window=window,
+        guard=guard,
+        partition_by=partition_by,
+        on_match=on_match,
+    )
+    handle = QueryHandle(
+        engine, label, sink.stream, sink.collector, [operator.stop]
+    )
+    handle.operator = operator  # type: ignore[attr-defined]
+    return engine.register_query(handle)
+
+
+def _wire_exception_seq(
+    engine: Engine,
+    analysis: Analysis,
+    predicate: SeqPredicate,
+    args: list[SeqArg],
+    window: OperatorWindow | None,
+    guard: Callable[[Mapping[str, Any]], bool] | None,
+    partition_by: Callable[[Tuple], Any] | None,
+    items: list[SelectItem],
+    sink: _Sink,
+    label: str,
+) -> QueryHandle:
+    clevel: ClevelThreshold | None = analysis.clevel
+    n = len(args)
+    mode = (
+        PairingMode.parse(predicate.mode)
+        if predicate.mode is not None
+        else PairingMode.CONSECUTIVE
+    )
+
+    def accepts(level: int) -> bool:
+        if clevel is not None:
+            return clevel.accepts(level)
+        return level < n  # EXCEPTION_SEQ: any incomplete sequence
+
+    def on_outcome(outcome: SequenceOutcome) -> None:
+        if not accepts(outcome.level):
+            return
+        bindings: dict[str, Any] = {}
+        for arg, run in zip(args, outcome.runs):
+            bindings[arg.alias] = list(run) if arg.starred else run[-1]
+        env = _make_env(engine, bindings)
+        sink.emit([_eval_item(item, env) for item in items], outcome.ts)
+
+    operator = ExceptionSeqOperator(
+        engine,
+        args,
+        window=window,
+        mode=mode,
+        guard=guard,
+        partition_by=partition_by,
+        on_outcome=on_outcome,
+    )
+    handle = QueryHandle(
+        engine, label, sink.stream, sink.collector, [operator.stop]
+    )
+    handle.operator = operator  # type: ignore[attr-defined]
+    return engine.register_query(handle)
+
+
+# ---------------------------------------------------------------------------
+# Ad-hoc snapshot queries (Engine.snapshot)
+# ---------------------------------------------------------------------------
+
+
+def execute_snapshot(engine: Engine, text: str) -> list[dict[str, Any]]:
+    """One-shot SELECT over current state (paper section 2.1, ad-hoc
+    queries).
+
+    Streams in FROM read from their enabled histories
+    (:meth:`Engine.enable_history`); tables read their current rows.
+    Supports WHERE, projection, aggregates, GROUP BY/HAVING, and EXISTS
+    over tables.  Temporal operators and stream EXISTS sub-queries are for
+    continuous queries, not snapshots.
+    """
+    statements = parse_program(text)
+    if len(statements) != 1 or not isinstance(statements[0], SelectStatement):
+        raise EslSemanticError("snapshot() takes exactly one SELECT statement")
+    statement = statements[0]
+    if statement.insert_into is not None:
+        raise EslSemanticError("snapshot queries cannot INSERT")
+
+    # Resolve sources to materialized tuple lists.
+    sources: list[tuple[str, list[Tuple]]] = []
+    for item in statement.from_items:
+        if item.window is not None:
+            raise EslSemanticError(
+                "snapshot FROM items take no window; the retention was set "
+                "by enable_history()"
+            )
+        if item.name in engine.streams:
+            view = engine.history(item.name)
+            sources.append((item.alias, view.current()))
+        elif item.name in engine.tables:
+            table = engine.tables.get(item.name)
+            sources.append((item.alias, list(table.as_tuples(ts=engine.now))))
+        else:
+            raise EslSemanticError(
+                f"unknown stream or table {item.name!r} in snapshot FROM"
+            )
+    alias_seen: set[str] = set()
+    for alias, __ in sources:
+        if alias.lower() in alias_seen:
+            raise EslSemanticError(f"duplicate FROM alias {alias!r}")
+        alias_seen.add(alias.lower())
+
+    # Classify WHERE.
+    plain_terms: list[Expression] = []
+    exists_probes: list[Callable[[Env], bool]] = []
+    throwaway: list[Callable[[], None]] = []
+    for term in iter_and_terms(statement.where):
+        if isinstance(term, SeqPredicate) or any(
+            isinstance(node, SeqPredicate) for node in term.walk()
+        ):
+            raise EslSemanticError(
+                "temporal operators need a continuous query, not a snapshot"
+            )
+        if isinstance(term, ExistsPredicate):
+            if term.query.from_items[0].name not in engine.tables:
+                raise EslSemanticError(
+                    "snapshot EXISTS sub-queries must read tables"
+                )
+            exists_probes.append(
+                _compile_exists_probe(engine, term, None, throwaway)
+            )
+            continue
+        plain_terms.append(term)
+    for undo in throwaway:
+        undo()  # table probes never subscribe, but be safe
+    check = _compile_where_probe(engine, plain_terms, exists_probes)
+
+    # Select items (promote aggregates against the engine registries).
+    from .analyzer import promote_aggregates
+
+    if statement.select_star:
+        items = []
+        many = len(sources) > 1
+        for alias, tuples in sources:
+            schema = None
+            if tuples:
+                schema = tuples[0].schema
+            elif alias.lower() in engine.streams:
+                schema = engine.streams.get(alias).schema
+            if schema is None and alias in engine.streams:
+                schema = engine.streams.get(alias).schema
+            if schema is None:
+                # Fall back to the declared schema by FROM name.
+                for item in statement.from_items:
+                    if item.alias == alias:
+                        if item.name in engine.streams:
+                            schema = engine.streams.get(item.name).schema
+                        else:
+                            schema = engine.tables.get(item.name).schema
+            assert schema is not None
+            for field in schema.names:
+                name = f"{alias}_{field}" if many else field
+                items.append(SelectItem(Column(field, alias=alias), name))
+    else:
+        items = [
+            SelectItem(promote_aggregates(item.expr, engine), item.alias)
+            for item in statement.select_items
+        ]
+    having = (
+        promote_aggregates(statement.having, engine)
+        if statement.having is not None
+        else None
+    )
+    has_aggregates = any(
+        any(True for __ in collect_aggregate_calls(item.expr)) for item in items
+    ) or (having is not None and any(
+        True for __ in collect_aggregate_calls(having)
+    ))
+
+    names = _unique_names([_item_name(item, i) for i, item in enumerate(items)])
+
+    def bindings() -> Any:
+        def descend(depth: int, env: Env) -> Any:
+            if depth == len(sources):
+                if check(env):
+                    yield env
+                return
+            alias, tuples = sources[depth]
+            for tup in tuples:
+                env.bindings[alias.lower()] = tup
+                yield from descend(depth + 1, env)
+            env.bindings.pop(alias.lower(), None)
+
+        yield from descend(0, _make_env(engine, {}))
+
+    rows: list[dict[str, Any]] = []
+    if has_aggregates or statement.group_by:
+        slots: dict[int, tuple[AggregateCall, _AggSlot]] = {}
+        rewritten = [
+            SelectItem(_rewrite_with_slots(item.expr, slots), item.alias)
+            for item in items
+        ]
+        having_rewritten = (
+            _rewrite_with_slots(having, slots) if having is not None else None
+        )
+        calls = [call for call, __ in slots.values()]
+        slot_list = [slot for __, slot in slots.values()]
+        group_exprs = list(statement.group_by)
+        groups: dict[Any, _AggState] = {}
+        group_envs: dict[Any, Env] = {}
+        for env in bindings():
+            key = (
+                tuple(expr.eval(env) for expr in group_exprs)
+                if group_exprs else None
+            )
+            state = groups.get(key)
+            if state is None:
+                state = _AggState(engine, calls)
+                groups[key] = state
+                # Freeze a representative binding for non-aggregate items.
+                group_envs[key] = _make_env(engine, dict(env.bindings))
+            state.update(env)
+        for key, state in groups.items():
+            env = group_envs[key]
+            for slot, value in zip(slot_list, state.values()):
+                slot.cell[0] = value
+            if having_rewritten is not None and not truthy(
+                having_rewritten.eval(env)
+            ):
+                continue
+            rows.append(
+                dict(zip(names, (item.expr.eval(env) for item in rewritten)))
+            )
+        if not groups and not group_exprs:
+            # Aggregates over an empty input still yield one row of
+            # identities/NULLs, per SQL.
+            state = _AggState(engine, calls)
+            env = _make_env(engine, {})
+            for slot, value in zip(slot_list, state.values()):
+                slot.cell[0] = value
+            try:
+                rows.append(
+                    dict(zip(names, (item.expr.eval(env) for item in rewritten)))
+                )
+            except EslRuntimeError:
+                pass  # non-aggregate items unbound on empty input: no row
+    else:
+        for env in bindings():
+            rows.append(
+                dict(zip(names, (item.expr.eval(env) for item in items)))
+            )
+    return rows

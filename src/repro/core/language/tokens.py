@@ -1,0 +1,75 @@
+"""Token definitions for the ESL-EV lexer."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"          # identifiers and keywords (keywords resolved later)
+    NUMBER = "number"        # integer or float literal
+    STRING = "string"        # 'single quoted'
+    OPERATOR = "operator"    # = <> != < <= > >= + - * / % || :=
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    LBRACKET = "lbracket"
+    RBRACKET = "rbracket"
+    COMMA = "comma"
+    DOT = "dot"
+    SEMICOLON = "semicolon"
+    STAR = "star"            # '*' — multiplication, SELECT *, or star-sequence
+    EOF = "eof"
+
+
+#: Reserved words recognized case-insensitively.  Stored uppercase.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS",
+        "INSERT", "INTO", "VALUES", "CREATE", "STREAM", "TABLE",
+        "AGGREGATE", "INITIALIZE", "ITERATE", "TERMINATE", "RETURN",
+        "AND", "OR", "NOT", "EXISTS", "IN", "IS", "NULL", "LIKE",
+        "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "TRUE", "FALSE",
+        "OVER", "RANGE", "ROWS", "PRECEDING", "FOLLOWING", "CURRENT",
+        "UNBOUNDED", "MODE", "SEQ", "EXCEPTION_SEQ", "CLEVEL_SEQ",
+        "UNRESTRICTED", "RECENT", "CHRONICLE", "CONSECUTIVE",
+        "MILLISECONDS", "SECONDS", "MINUTES", "HOURS", "DAYS",
+        "MILLISECOND", "SECOND", "MINUTE", "HOUR", "DAY",
+        "FIRST", "LAST", "COUNT", "PREVIOUS", "DELETE", "UPDATE", "SET",
+    }
+)
+
+#: Time-unit keywords (upper-case) accepted after a number.
+TIME_UNIT_KEYWORDS = frozenset(
+    {
+        "MILLISECONDS", "SECONDS", "MINUTES", "HOURS", "DAYS",
+        "MILLISECOND", "SECOND", "MINUTE", "HOUR", "DAY",
+    }
+)
+
+
+class Token:
+    """One lexical token with its source position."""
+
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, type: TokenType, value: Any, line: int, column: int) -> None:
+        self.type = type
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def is_keyword(self, *words: str) -> bool:
+        """True when this token is an identifier matching one of *words*
+        case-insensitively."""
+        if self.type is not TokenType.IDENT:
+            return False
+        upper = str(self.value).upper()
+        return any(upper == word.upper() for word in words)
+
+    @property
+    def upper(self) -> str:
+        return str(self.value).upper()
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r}, {self.line}:{self.column})"

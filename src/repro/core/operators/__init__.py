@@ -1,0 +1,78 @@
+"""ESL-EV temporal event operators: SEQ, star sequences, EXCEPTION_SEQ,
+CLEVEL_SEQ, and the cross-sub-query symmetric window.
+
+:func:`make_sequence_operator` dispatches between the star-free
+:class:`SeqOperator` and the star-capable :class:`StarSeqOperator`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ...dsms.engine import Engine
+from ...dsms.tuples import Tuple
+from .base import (
+    Guard,
+    MatchCallback,
+    OperatorWindow,
+    PairingMode,
+    SeqArg,
+    SeqMatch,
+    validate_args,
+)
+from .exception_seq import (
+    ExceptionReason,
+    ExceptionSeqOperator,
+    SequenceOutcome,
+)
+from .seq import SeqOperator
+from .star import StarSeqOperator
+from .subquery import SymmetricExistsOperator
+
+
+def make_sequence_operator(
+    engine: Engine,
+    args: Sequence[SeqArg],
+    mode: PairingMode = PairingMode.UNRESTRICTED,
+    window: OperatorWindow | None = None,
+    guard: Guard | None = None,
+    partition_by: Callable[[Tuple], Any] | None = None,
+    on_match: MatchCallback | None = None,
+    ttl: float | None = None,
+    store_matches: bool = True,
+) -> SeqOperator | StarSeqOperator:
+    """Build the right SEQ runtime for *args* (star-free vs. starred).
+
+    ``store_matches=False`` keeps the operator from accumulating
+    :class:`SeqMatch` objects — long-running deployments that consume
+    events solely through ``on_match`` should disable storage.
+    """
+    if any(arg.starred for arg in args):
+        return StarSeqOperator(
+            engine, args, mode=mode, window=window, guard=guard,
+            partition_by=partition_by, on_match=on_match, ttl=ttl,
+            store_matches=store_matches,
+        )
+    return SeqOperator(
+        engine, args, mode=mode, window=window, guard=guard,
+        partition_by=partition_by, on_match=on_match,
+        store_matches=store_matches,
+    )
+
+
+__all__ = [
+    "ExceptionReason",
+    "ExceptionSeqOperator",
+    "Guard",
+    "MatchCallback",
+    "OperatorWindow",
+    "PairingMode",
+    "SeqArg",
+    "SeqMatch",
+    "SeqOperator",
+    "SequenceOutcome",
+    "StarSeqOperator",
+    "SymmetricExistsOperator",
+    "make_sequence_operator",
+    "validate_args",
+]

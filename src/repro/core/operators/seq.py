@@ -1,0 +1,402 @@
+"""The SEQ operator (paper section 3.1.1) for star-free argument lists.
+
+``SEQ(E1, ..., En)`` is true on tuples t1 < t2 < ... < tn drawn from the
+argument streams (ordering on (timestamp, arrival) — "the tuple from E2 has
+a timestamp after the tuple from E1").  Which of the time-ordered
+combinations actually become events is governed by the Tuple Pairing Mode:
+
+* UNRESTRICTED — all combinations (the default; equivalent to the n-way
+  join of the paper's footnote 3).
+* RECENT — backward-greedy: the arriving last-stream tuple matches the most
+  recent qualifying tuple on stream n-1, that one the most recent qualifying
+  tuple on stream n-2, and so on.  At most one event per arrival.
+* CHRONICLE — forward-greedy from the earliest qualifying tuples; matched
+  tuples are consumed and never reused.
+* CONSECUTIVE — the match must be adjacent on the joint tuple history of the
+  participating streams; any interloper resets the automaton.
+
+History retention is mode-specific (the paper's optimization argument):
+RECENT purges dominated tuples, CHRONICLE consumes on match, CONSECUTIVE
+holds at most n-1 tuples, UNRESTRICTED retains everything the window admits.
+The ``state_size`` property exposes held-tuple counts for the state-size
+ablation benchmark.
+
+Star-sequence patterns are handled by
+:class:`repro.core.operators.star.StarSeqOperator`; use
+:func:`repro.core.operators.make_sequence_operator` to pick automatically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from ...dsms.engine import Engine
+from ...dsms.errors import EslSemanticError
+from ...dsms.tuples import Tuple
+from .base import (
+    Guard,
+    MatchCallback,
+    OperatorWindow,
+    PairingMode,
+    SeqArg,
+    SeqMatch,
+    validate_args,
+)
+
+
+class _Partition:
+    """Per-partition-key operator state."""
+
+    __slots__ = ("histories", "run")
+
+    def __init__(self, n: int) -> None:
+        # Positions 0..n-2 keep history; the last position's tuples are only
+        # ever anchors and are matched immediately on arrival.
+        self.histories: list[list[Tuple]] = [[] for _ in range(n - 1)]
+        # CONSECUTIVE-mode current run on the joint history.
+        self.run: list[Tuple] = []
+
+    def state_size(self) -> int:
+        return sum(len(history) for history in self.histories) + len(self.run)
+
+
+class SeqOperator:
+    """Runtime instance of a star-free SEQ operator.
+
+    Args:
+        engine: the owning :class:`~repro.dsms.engine.Engine`.
+        args: the argument list (no starred entries).
+        mode: tuple pairing mode.
+        window: optional :class:`OperatorWindow`.
+        guard: optional predicate consulted while extending candidate
+            bindings (the "qualifying conditions"); receives the partial
+            alias->tuple mapping and must be monotone (False never becomes
+            True by binding more aliases).
+        partition_by: optional key function applied to every tuple; state is
+            kept per key.  The standard RFID idiom is partitioning by tag id,
+            which turns the WHERE equality conditions of paper Example 6
+            into hash routing.
+        on_match: callback receiving each :class:`SeqMatch`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        args: Sequence[SeqArg],
+        mode: PairingMode = PairingMode.UNRESTRICTED,
+        window: OperatorWindow | None = None,
+        guard: Guard | None = None,
+        partition_by: Callable[[Tuple], Any] | None = None,
+        on_match: MatchCallback | None = None,
+        store_matches: bool = True,
+    ) -> None:
+        validate_args(args)
+        if any(arg.starred for arg in args):
+            raise EslSemanticError(
+                "SeqOperator handles star-free patterns; use StarSeqOperator"
+            )
+        self.engine = engine
+        self.args = tuple(args)
+        self.mode = mode
+        self.window = window
+        self.guard = guard
+        self.partition_by = partition_by
+        self.matches: list[SeqMatch] = []
+        self.store_matches = store_matches
+        self._on_match = on_match
+        self._partitions: dict[Any, _Partition] = {}
+        self._unsubscribes: list[Callable[[], None]] = []
+        self.tuples_seen = 0
+        self.matches_emitted = 0
+
+        # positions per stream: stream name -> [arg indexes]
+        self._positions: dict[str, list[int]] = {}
+        for index, arg in enumerate(self.args):
+            self._positions.setdefault(arg.stream.lower(), []).append(index)
+        for stream_name in self._positions:
+            stream = engine.streams.get(stream_name)
+            self._unsubscribes.append(stream.subscribe(self._on_tuple))
+
+    # -- public ----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Detach from all source streams."""
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes.clear()
+
+    @property
+    def state_size(self) -> int:
+        """Total tuples currently held across all partitions."""
+        return sum(p.state_size() for p in self._partitions.values())
+
+    def drain_matches(self) -> list[SeqMatch]:
+        """Return and clear accumulated matches (pull-style consumption)."""
+        out = self.matches
+        self.matches = []
+        return out
+
+    # -- ingestion --------------------------------------------------------
+
+    def _partition_for(self, tup: Tuple) -> _Partition:
+        key = self.partition_by(tup) if self.partition_by else None
+        partition = self._partitions.get(key)
+        if partition is None:
+            partition = _Partition(len(self.args))
+            self._partitions[key] = partition
+        return partition
+
+    def _on_tuple(self, tup: Tuple) -> None:
+        self.tuples_seen += 1
+        positions = self._positions.get(tup.stream.lower())
+        if not positions:
+            return
+        partition = self._partition_for(tup)
+        if self.mode is PairingMode.CONSECUTIVE:
+            self._consecutive_step(partition, tup, positions)
+            return
+        last = len(self.args) - 1
+        for index in positions:
+            if index == last:
+                self._attempt_matches(partition, tup)
+            else:
+                self._admit(partition, tup, index)
+        self._evict(partition, tup.ts)
+
+    def _admit(self, partition: _Partition, tup: Tuple, index: int) -> None:
+        partition.histories[index].append(tup)
+        if self.mode is PairingMode.RECENT and self.guard is None:
+            self._purge_dominated(partition, index)
+
+    # -- history management ----------------------------------------------
+
+    def _evict(self, partition: _Partition, now: float) -> None:
+        """Window-based eviction of history that can never match again.
+
+        Only positions actually bounded by the window are evicted: a
+        PRECEDING window anchored at argument k bounds positions 0..k; a
+        FOLLOWING window anchored at k bounds positions k..n-1.
+        """
+        if self.window is None:
+            return
+        horizon = self.window.horizon(now)
+        if self.window.direction == "preceding":
+            bounded = range(0, min(self.window.anchor, len(partition.histories)))
+        else:
+            bounded = range(self.window.anchor, len(partition.histories))
+        for index in bounded:
+            history = partition.histories[index]
+            keep_from = 0
+            while keep_from < len(history) and history[keep_from].ts < horizon:
+                keep_from += 1
+            if keep_from:
+                del history[:keep_from]
+
+    def _purge_dominated(self, partition: _Partition, index: int) -> None:
+        """RECENT-mode aggressive purge (paper: "earlier tuples are
+        constantly replaced by later tuples").
+
+        A tuple u at position i is dominated — provably never selected by the
+        backward-greedy pass — when a newer tuple u' exists at position i and
+        no position-i+1 tuple lies in the half-open interval (u, u'].  Only
+        sound without a guard (a guard could disqualify u' where u passes),
+        so the caller skips this when a guard is present.
+        """
+        history = partition.histories[index]
+        if len(history) < 2:
+            return
+        if index + 1 < len(partition.histories):
+            anchors = partition.histories[index + 1]
+        else:
+            anchors = []  # successors are last-position arrivals: always newest
+        kept: list[Tuple] = []
+        for position, candidate in enumerate(history):
+            if position == len(history) - 1:
+                kept.append(candidate)  # the newest is always live
+                continue
+            successor = history[position + 1]
+            lo = bisect_right(anchors, candidate)
+            needed = lo < len(anchors) and anchors[lo] <= successor
+            if needed:
+                kept.append(candidate)
+        if len(kept) != len(history):
+            partition.histories[index][:] = kept
+
+    # -- match generation --------------------------------------------------
+
+    def _guard_ok(self, bindings: Mapping[str, Tuple]) -> bool:
+        return self.guard is None or bool(self.guard(bindings))
+
+    def _window_ok(self, chain: Sequence[Tuple]) -> bool:
+        if self.window is None:
+            return True
+        return self.window.admits(chain, chain[self.window.anchor])
+
+    def _attempt_matches(self, partition: _Partition, anchor: Tuple) -> None:
+        if self.mode is PairingMode.UNRESTRICTED:
+            for chain in self._enumerate_chains(partition, anchor):
+                self._emit(chain)
+        elif self.mode is PairingMode.RECENT:
+            chain = self._recent_chain(partition, anchor)
+            if chain is not None:
+                self._emit(chain)
+        elif self.mode is PairingMode.CHRONICLE:
+            chain = self._chronicle_chain(partition, anchor)
+            if chain is not None:
+                self._consume(partition, chain)
+                self._emit(chain)
+
+    def _enumerate_chains(
+        self, partition: _Partition, anchor: Tuple
+    ) -> Iterator[list[Tuple]]:
+        """All time-ordered combinations ending at *anchor* (UNRESTRICTED)."""
+        n = len(self.args)
+        chain: list[Tuple | None] = [None] * n
+        chain[n - 1] = anchor
+        bindings: dict[str, Tuple] = {self.args[n - 1].alias: anchor}
+        if not self._guard_ok(bindings):
+            return
+
+        def extend(index: int, upper: Tuple) -> Iterator[list[Tuple]]:
+            history = partition.histories[index]
+            cut = bisect_left(history, upper)
+            for candidate in history[:cut]:
+                bindings[self.args[index].alias] = candidate
+                if not self._guard_ok(bindings):
+                    del bindings[self.args[index].alias]
+                    continue
+                chain[index] = candidate
+                if index == 0:
+                    full = [tup for tup in chain]  # all bound now
+                    if self._window_ok(full):  # type: ignore[arg-type]
+                        yield list(full)  # type: ignore[arg-type]
+                else:
+                    yield from extend(index - 1, candidate)
+                del bindings[self.args[index].alias]
+                chain[index] = None
+
+        yield from extend(n - 2, anchor)
+
+    def _recent_chain(
+        self, partition: _Partition, anchor: Tuple
+    ) -> list[Tuple] | None:
+        """Backward-greedy most-recent-qualifying selection."""
+        n = len(self.args)
+        bindings: dict[str, Tuple] = {self.args[n - 1].alias: anchor}
+        if not self._guard_ok(bindings):
+            return None
+        chain: list[Tuple] = [anchor]
+        upper = anchor
+        for index in range(n - 2, -1, -1):
+            history = partition.histories[index]
+            cut = bisect_left(history, upper)
+            chosen: Tuple | None = None
+            for candidate in reversed(history[:cut]):
+                bindings[self.args[index].alias] = candidate
+                if self._guard_ok(bindings):
+                    chosen = candidate
+                    break
+                del bindings[self.args[index].alias]
+            if chosen is None:
+                return None
+            chain.append(chosen)
+            upper = chosen
+        chain.reverse()
+        return chain if self._window_ok(chain) else None
+
+    def _chronicle_chain(
+        self, partition: _Partition, anchor: Tuple
+    ) -> list[Tuple] | None:
+        """Forward-greedy earliest-qualifying selection.
+
+        Choosing the earliest qualifying tuple at each level is complete:
+        any feasible assignment can be shifted earlier level by level without
+        violating the ordering, so greedy failure means no chain exists.
+        """
+        n = len(self.args)
+        bindings: dict[str, Tuple] = {self.args[n - 1].alias: anchor}
+        if not self._guard_ok(bindings):
+            return None
+        chain: list[Tuple] = []
+        lower: Tuple | None = None
+        for index in range(n - 1):
+            history = partition.histories[index]
+            start = 0 if lower is None else bisect_right(history, lower)
+            chosen: Tuple | None = None
+            for candidate in history[start:]:
+                if candidate >= anchor:
+                    break
+                bindings[self.args[index].alias] = candidate
+                if self._guard_ok(bindings):
+                    chosen = candidate
+                    break
+                del bindings[self.args[index].alias]
+            if chosen is None:
+                return None
+            chain.append(chosen)
+            lower = chosen
+        chain.append(anchor)
+        return chain if self._window_ok(chain) else None
+
+    def _consume(self, partition: _Partition, chain: Sequence[Tuple]) -> None:
+        """CHRONICLE: matched tuples never participate again."""
+        for index, tup in enumerate(chain[:-1]):
+            history = partition.histories[index]
+            slot = bisect_left(history, tup)
+            if slot < len(history) and history[slot] is tup:
+                del history[slot]
+
+    # -- CONSECUTIVE automaton ---------------------------------------------
+
+    def _consecutive_step(
+        self, partition: _Partition, tup: Tuple, positions: Sequence[int]
+    ) -> None:
+        run = partition.run
+        expected = len(run)
+        arg = self.args[expected] if expected < len(self.args) else None
+        extends = (
+            arg is not None
+            and arg.stream.lower() == tup.stream.lower()
+            and self._guard_ok(
+                {self.args[i].alias: t for i, t in enumerate(run)}
+                | {arg.alias: tup}
+            )
+        )
+        if extends:
+            run.append(tup)
+            if len(run) == len(self.args):
+                chain = list(run)
+                partition.run = []
+                if self._window_ok(chain):
+                    self._emit(chain)
+            return
+        # Interruption: purge history (paper: "tuple history can be safely
+        # purged each time a sequence is finished or interrupted"), then see
+        # whether the interloper can start a fresh run.
+        partition.run = []
+        first = self.args[0]
+        if first.stream.lower() == tup.stream.lower() and self._guard_ok(
+            {first.alias: tup}
+        ):
+            partition.run = [tup]
+
+    # -- emission -----------------------------------------------------------
+
+    def _emit(self, chain: Sequence[Tuple]) -> None:
+        bindings = {
+            arg.alias: tup for arg, tup in zip(self.args, chain)
+        }
+        match = SeqMatch(self.args, bindings, chain[-1].ts)
+        self.matches_emitted += 1
+        if self.store_matches:
+            self.matches.append(match)
+        if self._on_match is not None:
+            self._on_match(match)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(arg.alias for arg in self.args)
+        return (
+            f"SeqOperator(SEQ({inner}) MODE {self.mode.value.upper()}, "
+            f"{self.matches_emitted} matches, state={self.state_size})"
+        )

@@ -1,0 +1,6 @@
+"""Physical plan introspection utilities."""
+
+from .plan import PlanNode, describe_handle
+from .optimizer import optimization_report
+
+__all__ = ["PlanNode", "describe_handle", "optimization_report"]

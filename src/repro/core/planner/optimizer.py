@@ -1,0 +1,50 @@
+"""Query-rewrite reporting.
+
+The compiler applies three rewrites the paper motivates (section 3.1.1's
+discussion of avoiding "complex predicate conditions"):
+
+1. **partition hoisting** — an all-alias equality chain on a shared field
+   shards operator state by that field's value;
+2. **gap hoisting** — ``alias.previous`` constraints become star-run
+   segmentation checks inside the operator;
+3. **guard pushdown** — remaining WHERE conjuncts are evaluated during
+   candidate construction instead of after enumeration.
+
+:func:`optimization_report` runs the analyzer on a query and reports which
+rewrites would fire — an EXPLAIN for the optimizer, usable without
+executing the query.
+"""
+
+from __future__ import annotations
+
+from ...dsms.engine import Engine
+from ..language.analyzer import analyze
+from ..language.ast_nodes import SelectStatement
+from ..language.parser import parse_program
+
+
+def optimization_report(engine: Engine, sql: str) -> dict[str, object]:
+    """Analyze *sql* (a single SELECT) and report the planned rewrites.
+
+    Returns a dict with keys: ``kind``, ``temporal_op``, ``mode``,
+    ``partition_field``, ``hoisted_gap_constraints``, ``guard_terms``,
+    ``exists_subqueries``, ``multi_return``.
+    """
+    statements = parse_program(sql)
+    selects = [s for s in statements if isinstance(s, SelectStatement)]
+    if len(selects) != 1:
+        raise ValueError("optimization_report expects exactly one SELECT")
+    analysis = analyze(selects[0], engine)
+    predicate = analysis.temporal or (
+        analysis.clevel.predicate if analysis.clevel else None
+    )
+    return {
+        "kind": analysis.kind,
+        "temporal_op": predicate.op_name if predicate else None,
+        "mode": predicate.mode if predicate else None,
+        "partition_field": analysis.partition_field,
+        "hoisted_gap_constraints": len(analysis.gap_terms),
+        "guard_terms": len(analysis.guard_terms),
+        "exists_subqueries": len(analysis.exists_terms),
+        "multi_return": analysis.multi_return_alias,
+    }

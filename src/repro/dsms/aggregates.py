@@ -1,0 +1,225 @@
+"""Aggregate functions: the shared protocol plus the SQL built-ins.
+
+An aggregate is described by an :class:`Aggregate` object exposing the
+classic three-phase protocol that ESL's user-defined aggregates borrow from
+(INITIALIZE / ITERATE / TERMINATE).  Built-ins and UDAs go through exactly
+the same code path in the engine, which is the point the paper makes about
+ESL: arbitrarily complex aggregation is expressible without touching the
+system.
+
+All built-ins ignore NULL inputs, as SQL requires; ``COUNT(*)`` counts rows
+regardless.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping
+
+from .errors import UnknownAggregateError
+
+
+class Aggregate:
+    """Three-phase aggregate: initialize -> iterate* -> terminate."""
+
+    def __init__(
+        self,
+        name: str,
+        initialize: Callable[[], Any],
+        iterate: Callable[[Any, Any], Any],
+        terminate: Callable[[Any], Any],
+        skip_nulls: bool = True,
+    ) -> None:
+        self.name = name
+        self._initialize = initialize
+        self._iterate = iterate
+        self._terminate = terminate
+        self.skip_nulls = skip_nulls
+
+    def initialize(self) -> Any:
+        return self._initialize()
+
+    def iterate(self, state: Any, value: Any) -> Any:
+        if value is None and self.skip_nulls:
+            return state
+        return self._iterate(state, value)
+
+    def terminate(self, state: Any) -> Any:
+        return self._terminate(state)
+
+    def compute(self, values: Any) -> Any:
+        """One-shot evaluation over an iterable (snapshot queries use this)."""
+        state = self.initialize()
+        for value in values:
+            state = self.iterate(state, value)
+        return self.terminate(state)
+
+    def __repr__(self) -> str:
+        return f"Aggregate({self.name})"
+
+
+def _make_count() -> Aggregate:
+    return Aggregate(
+        "count",
+        initialize=lambda: 0,
+        iterate=lambda state, value: state + 1,
+        terminate=lambda state: state,
+    )
+
+
+def _make_count_star() -> Aggregate:
+    return Aggregate(
+        "count(*)",
+        initialize=lambda: 0,
+        iterate=lambda state, value: state + 1,
+        terminate=lambda state: state,
+        skip_nulls=False,
+    )
+
+
+def _make_sum() -> Aggregate:
+    return Aggregate(
+        "sum",
+        initialize=lambda: None,
+        iterate=lambda state, value: value if state is None else state + value,
+        terminate=lambda state: state,
+    )
+
+
+def _make_avg() -> Aggregate:
+    return Aggregate(
+        "avg",
+        initialize=lambda: (0, 0.0),
+        iterate=lambda state, value: (state[0] + 1, state[1] + value),
+        terminate=lambda state: state[1] / state[0] if state[0] else None,
+    )
+
+
+def _make_min() -> Aggregate:
+    return Aggregate(
+        "min",
+        initialize=lambda: None,
+        iterate=lambda state, value: value if state is None else min(state, value),
+        terminate=lambda state: state,
+    )
+
+
+def _make_max() -> Aggregate:
+    return Aggregate(
+        "max",
+        initialize=lambda: None,
+        iterate=lambda state, value: value if state is None else max(state, value),
+        terminate=lambda state: state,
+    )
+
+
+def _make_first() -> Aggregate:
+    sentinel = object()
+    return Aggregate(
+        "first",
+        initialize=lambda: sentinel,
+        iterate=lambda state, value: value if state is sentinel else state,
+        terminate=lambda state: None if state is sentinel else state,
+        skip_nulls=False,
+    )
+
+
+def _make_last() -> Aggregate:
+    sentinel = object()
+    return Aggregate(
+        "last",
+        initialize=lambda: sentinel,
+        iterate=lambda state, value: value,
+        terminate=lambda state: None if state is sentinel else state,
+        skip_nulls=False,
+    )
+
+
+def _stddev_terminate(state: tuple[int, float, float]) -> float | None:
+    count, total, total_sq = state
+    if count < 2:
+        return None
+    mean = total / count
+    variance = (total_sq - count * mean * mean) / (count - 1)
+    return math.sqrt(max(variance, 0.0))
+
+
+def _make_stddev() -> Aggregate:
+    return Aggregate(
+        "stddev",
+        initialize=lambda: (0, 0.0, 0.0),
+        iterate=lambda state, value: (
+            state[0] + 1,
+            state[1] + value,
+            state[2] + value * value,
+        ),
+        terminate=_stddev_terminate,
+    )
+
+
+def _make_count_distinct() -> Aggregate:
+    return Aggregate(
+        "count_distinct",
+        initialize=lambda: set(),
+        iterate=lambda state, value: (state.add(value), state)[1],
+        terminate=lambda state: len(state),
+    )
+
+
+def _make_median() -> Aggregate:
+    def terminate(state: list[Any]) -> Any:
+        if not state:
+            return None
+        ordered = sorted(state)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2
+
+    return Aggregate(
+        "median",
+        initialize=lambda: [],
+        iterate=lambda state, value: (state.append(value), state)[1],
+        terminate=terminate,
+    )
+
+
+#: Factory functions for every built-in aggregate.  Factories (rather than
+#: shared instances) keep UDA-style stateful implementations safe.
+BUILTIN_AGGREGATES: Mapping[str, Callable[[], Aggregate]] = {
+    "count": _make_count,
+    "count(*)": _make_count_star,
+    "sum": _make_sum,
+    "avg": _make_avg,
+    "min": _make_min,
+    "max": _make_max,
+    "first": _make_first,
+    "last": _make_last,
+    "stddev": _make_stddev,
+    "count_distinct": _make_count_distinct,
+    "median": _make_median,
+}
+
+
+class AggregateRegistry:
+    """Engine-local aggregate catalog: built-ins plus registered UDAs."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], Aggregate]] = dict(
+            BUILTIN_AGGREGATES
+        )
+
+    def register(self, name: str, factory: Callable[[], Aggregate]) -> None:
+        self._factories[name.lower()] = factory
+
+    def create(self, name: str) -> Aggregate:
+        factory = self._factories.get(name.lower())
+        if factory is None:
+            known = ", ".join(sorted(self._factories))
+            raise UnknownAggregateError(
+                f"unknown aggregate {name!r}; registered: {known}"
+            )
+        return factory()
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._factories

@@ -1,0 +1,312 @@
+"""The push-based continuous-query engine.
+
+:class:`Engine` is the top-level object an application creates.  It owns:
+
+* a :class:`~repro.dsms.clock.VirtualClock` (virtual time + timers, giving
+  the *Active Expiration* semantics EXCEPTION_SEQ needs),
+* the stream and table catalogs,
+* the scalar-function (UDF) and aggregate (UDA) registries, and
+* every registered continuous query.
+
+Time discipline: pushing a tuple first advances the clock to the tuple's
+timestamp — firing any due timers — and only then delivers the tuple.  A
+timeout scheduled for time T therefore always fires before a tuple stamped
+after T is seen, which makes EXCEPTION_SEQ results deterministic and
+replayable.
+
+Typical use::
+
+    engine = Engine()
+    engine.create_stream('readings', 'reader_id str, tag_id str, read_time float')
+    out = engine.query(ESL_EV_TEXT)          # returns a QueryHandle
+    engine.push('readings', {'reader_id': 'r1', 'tag_id': 't7',
+                             'read_time': 3.0}, ts=3.0)
+    print(out.results)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .aggregates import Aggregate, AggregateRegistry
+from .clock import VirtualClock
+from .errors import EslSemanticError
+from .functions import default_functions
+from .schema import Schema
+from .streams import Stream, StreamRegistry
+from .table import Table, TableRegistry
+from .tuples import Tuple
+from .udf import UdfRegistry
+
+
+class Collector:
+    """A list-backed sink: subscribe it to any stream to capture output."""
+
+    def __init__(self, name: str = "collector") -> None:
+        self.name = name
+        self.results: list[Tuple] = []
+        self._unsubscribe: Callable[[], None] | None = None
+
+    def __call__(self, tup: Tuple) -> None:
+        self.results.append(tup)
+
+    def attach(self, stream: Stream) -> "Collector":
+        self._unsubscribe = stream.subscribe(self)
+        return self
+
+    def detach(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def clear(self) -> None:
+        self.results.clear()
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Captured tuples as plain dicts."""
+        return [tup.as_dict() for tup in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self.results)
+
+    def __repr__(self) -> str:
+        return f"Collector({self.name!r}, {len(self.results)} tuples)"
+
+
+class QueryHandle:
+    """Handle for a registered continuous query.
+
+    Exposes the query's output (either a named derived stream or an internal
+    collector) and a :meth:`stop` method that detaches it from its sources.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        name: str,
+        output: Stream | None,
+        collector: Collector | None,
+        teardown: Sequence[Callable[[], None]] = (),
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.output = output
+        self._collector = collector
+        self._teardown = list(teardown)
+        self.stopped = False
+
+    @property
+    def results(self) -> list[Tuple]:
+        """Captured output tuples (only for queries without INSERT INTO)."""
+        if self._collector is None:
+            raise EslSemanticError(
+                f"query {self.name!r} writes to {self.output and self.output.name!r};"
+                " subscribe to that stream instead of reading .results"
+            )
+        return self._collector.results
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Captured output as dicts."""
+        return [tup.as_dict() for tup in self.results]
+
+    def clear(self) -> None:
+        if self._collector is not None:
+            self._collector.clear()
+
+    def stop(self) -> None:
+        """Detach the query from all its source streams."""
+        if self.stopped:
+            return
+        for teardown in self._teardown:
+            teardown()
+        self.stopped = True
+
+    def __repr__(self) -> str:
+        target = self.output.name if self.output is not None else "<collector>"
+        return f"QueryHandle({self.name!r} -> {target})"
+
+
+class Engine:
+    """A self-contained DSMS instance."""
+
+    def __init__(self) -> None:
+        self.clock = VirtualClock()
+        self.streams = StreamRegistry()
+        self.tables = TableRegistry()
+        self.functions = UdfRegistry(default_functions())
+        self.aggregates = AggregateRegistry()
+        self.queries: list[QueryHandle] = []
+        self.histories: dict[str, Any] = {}  # stream -> SnapshotView
+        self._query_counter = 0
+
+    # -- catalog --------------------------------------------------------
+
+    def create_stream(
+        self,
+        name: str,
+        schema: Schema | str | Iterable[str],
+        allow_out_of_order: bool = False,
+        reorder_slack: float = 0.0,
+    ) -> Stream:
+        """Declare a stream (the DDL ``CREATE STREAM`` goes through here)."""
+        return self.streams.create(name, schema, allow_out_of_order, reorder_slack)
+
+    def create_table(self, name: str, schema: Schema | str | Iterable[str]) -> Table:
+        """Declare a persistent table (``CREATE TABLE``)."""
+        return self.tables.create(name, schema)
+
+    def stream(self, name: str) -> Stream:
+        return self.streams.get(name)
+
+    def table(self, name: str) -> Table:
+        return self.tables.get(name)
+
+    def register_udf(
+        self, name: str, fn: Callable[..., Any], strict: bool = True
+    ) -> None:
+        """Register a user-defined scalar function."""
+        self.functions.register(name, fn, strict=strict, replace=True)
+
+    def register_uda(self, name: str, factory: Callable[[], Aggregate]) -> None:
+        """Register a user-defined aggregate factory."""
+        self.aggregates.register(name, factory)
+
+    # -- time & data ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def advance_time(self, ts: float) -> int:
+        """Heartbeat: move virtual time forward, firing due timers.
+
+        This is how window expirations are detected on quiet streams
+        (the paper's Active Expiration).  Returns the number of timers fired.
+        """
+        return self.clock.advance(ts)
+
+    def push(
+        self,
+        stream_name: str,
+        values: Mapping[str, Any] | Sequence[Any],
+        ts: float,
+    ) -> Tuple:
+        """Push one tuple: advance the clock to *ts*, then deliver.
+
+        *values* may be a field mapping or a positional sequence.
+        """
+        stream = self.streams.get(stream_name)
+        self.clock.advance(ts)
+        if isinstance(values, Mapping):
+            return stream.push_dict(values, ts)
+        return stream.push_row(values, ts)
+
+    def push_tuple(self, stream_name: str, tup: Tuple) -> None:
+        """Push an already-built tuple."""
+        stream = self.streams.get(stream_name)
+        self.clock.advance(tup.ts)
+        stream.push(tup)
+
+    def run_trace(
+        self, trace: Iterable[tuple[str, Mapping[str, Any] | Sequence[Any], float]]
+    ) -> int:
+        """Feed a whole trace of ``(stream, values, ts)`` records in order.
+
+        Returns the number of tuples pushed.  Workload generators in
+        :mod:`repro.rfid` produce traces in this shape.
+        """
+        count = 0
+        for stream_name, values, ts in trace:
+            self.push(stream_name, values, ts)
+            count += 1
+        return count
+
+    def flush(self) -> int:
+        """End-of-stream: release reorder buffers and fire remaining timers."""
+        for stream in self.streams:
+            stream.flush()
+        return self.clock.drain()
+
+    # -- queries --------------------------------------------------------
+
+    def query(self, text: str, name: str | None = None) -> QueryHandle:
+        """Parse, compile, and register an ESL-EV continuous query.
+
+        Returns a :class:`QueryHandle`.  DDL statements (CREATE STREAM /
+        TABLE / AGGREGATE) are executed immediately and return a handle with
+        no output.  Multiple ``;``-separated statements are allowed; the
+        handle of the last one is returned.
+        """
+        # Imported lazily: the language package depends on dsms, not vice versa.
+        from ..core.language.compiler import compile_program
+
+        self._query_counter += 1
+        label = name or f"q{self._query_counter}"
+        return compile_program(self, text, label)
+
+    def register_query(self, handle: QueryHandle) -> QueryHandle:
+        self.queries.append(handle)
+        return handle
+
+    # -- ad-hoc snapshot queries ------------------------------------------
+
+    def enable_history(self, stream_name: str, duration: float | None = None):
+        """Retain recent tuples of a stream for ad-hoc snapshot queries.
+
+        The paper's section 2.1 motivates ad-hoc queries ("the current
+        location of the patient") answered from live stream state.  A
+        history is a :class:`~repro.dsms.snapshot.SnapshotView` with the
+        given retention (None = unbounded); once enabled,
+        :meth:`snapshot` can run one-shot SELECTs over that stream.
+        Returns the view (also usable directly).
+        """
+        from .snapshot import SnapshotView
+
+        key = stream_name.lower()
+        view = self.histories.get(key)
+        if view is None:
+            view = SnapshotView(
+                self.streams.get(stream_name), duration, self.aggregates
+            )
+            self.histories[key] = view
+        return view
+
+    def history(self, stream_name: str):
+        """The enabled history view for a stream (KeyError if not enabled)."""
+        try:
+            return self.histories[stream_name.lower()]
+        except KeyError:
+            raise EslSemanticError(
+                f"no history enabled for stream {stream_name!r}; call "
+                "engine.enable_history() first"
+            ) from None
+
+    def snapshot(self, text: str) -> list[dict[str, Any]]:
+        """Run a one-shot SELECT against current state.
+
+        Streams in FROM are read from their enabled histories; tables from
+        their current rows.  Returns the result rows immediately — nothing
+        is registered, nothing keeps running.
+        """
+        from ..core.language.compiler import execute_snapshot
+
+        return execute_snapshot(self, text)
+
+    def collect(self, stream_name: str) -> Collector:
+        """Attach a :class:`Collector` to a stream and return it."""
+        collector = Collector(stream_name)
+        collector.attach(self.streams.get(stream_name))
+        return collector
+
+    def stop_all(self) -> None:
+        for handle in self.queries:
+            handle.stop()
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(streams={len(self.streams)}, tables={len(self.tables)}, "
+            f"queries={len(self.queries)}, now={self.now:g})"
+        )

@@ -1,0 +1,621 @@
+"""Expression AST and evaluator.
+
+ESL-EV predicates and select-list items compile into these nodes.  Evaluation
+follows SQL three-valued logic: any comparison involving NULL (Python
+``None``) yields NULL, ``AND``/``OR`` use Kleene logic, and a WHERE clause
+treats NULL as false.
+
+Evaluation happens against an :class:`Env`, which binds stream aliases to
+tuples.  A column reference ``r1.tag_id`` looks up alias ``r1``; a bare
+``tag_id`` searches all bound tuples and must be unambiguous.
+
+These nodes are deliberately plain (no metaclass tricks): each has an
+``eval(env)`` method and a ``references()`` helper used by the optimizer for
+predicate pushdown.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .errors import EslRuntimeError, EslSemanticError, UnknownFunctionError
+from .tuples import Tuple
+
+
+class Env:
+    """Alias -> tuple bindings for one evaluation.
+
+    Also carries the function registry (scalar built-ins + UDFs) and an
+    optional parent, so correlated sub-queries can see outer bindings.
+    """
+
+    __slots__ = ("bindings", "functions", "parent")
+
+    def __init__(
+        self,
+        bindings: Mapping[str, Tuple] | None = None,
+        functions: Mapping[str, Callable[..., Any]] | None = None,
+        parent: "Env | None" = None,
+    ) -> None:
+        self.bindings: dict[str, Tuple] = dict(bindings or {})
+        self.functions = functions if functions is not None else {}
+        self.parent = parent
+
+    def child(self, bindings: Mapping[str, Tuple]) -> "Env":
+        """A nested scope sharing this env's functions."""
+        return Env(bindings, self.functions, parent=self)
+
+    def bind(self, alias: str, tup: Tuple) -> None:
+        self.bindings[alias.lower()] = tup
+
+    def lookup_alias(self, alias: str) -> Tuple:
+        key = alias.lower()
+        env: Env | None = self
+        while env is not None:
+            if key in env.bindings:
+                return env.bindings[key]
+            env = env.parent
+        raise EslRuntimeError(f"alias {alias!r} is not bound")
+
+    def lookup_column(self, alias: str | None, field: str) -> Any:
+        if alias is not None:
+            return self.lookup_alias(alias)[field]
+        # Bare column: search this scope, then parents.
+        env: Env | None = self
+        while env is not None:
+            matches = [t for t in env.bindings.values() if field in t]
+            if len(matches) == 1:
+                return matches[0][field]
+            if len(matches) > 1:
+                raise EslRuntimeError(
+                    f"ambiguous column {field!r}: bound in multiple streams"
+                )
+            env = env.parent
+        raise EslRuntimeError(f"unbound column {field!r}")
+
+    def lookup_function(self, name: str) -> Callable[..., Any]:
+        env: Env | None = self
+        while env is not None:
+            fn = env.functions.get(name.lower())
+            if fn is not None:
+                return fn
+            env = env.parent
+        raise UnknownFunctionError(f"unknown function {name!r}")
+
+
+class Expression:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+    def eval(self, env: Env) -> Any:
+        raise NotImplementedError
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        """Yield (alias, field) pairs this expression reads."""
+        return iter(())
+
+    def children(self) -> Iterable["Expression"]:
+        return ()
+
+    def walk(self) -> Iterator["Expression"]:
+        """Depth-first traversal including self."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def eval(self, env: Env) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Literal) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Literal", self.value))
+
+
+class Column(Expression):
+    """A column reference, optionally alias-qualified: ``r1.tag_id``."""
+
+    __slots__ = ("alias", "field")
+
+    def __init__(self, field: str, alias: str | None = None) -> None:
+        self.alias = alias
+        self.field = field
+
+    def eval(self, env: Env) -> Any:
+        return env.lookup_column(self.alias, self.field)
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        yield (self.alias, self.field)
+
+    def __repr__(self) -> str:
+        if self.alias:
+            return f"Column({self.alias}.{self.field})"
+        return f"Column({self.field})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Column)
+            and self.alias == other.alias
+            and self.field == other.field
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Column", self.alias, self.field))
+
+
+class TimestampRef(Expression):
+    """The event timestamp of an alias's current tuple (``r1.__ts__``)."""
+
+    __slots__ = ("alias",)
+
+    def __init__(self, alias: str) -> None:
+        self.alias = alias
+
+    def eval(self, env: Env) -> Any:
+        return env.lookup_alias(self.alias).ts
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        yield (self.alias, "__ts__")
+
+    def __repr__(self) -> str:
+        return f"TimestampRef({self.alias})"
+
+
+def _is_null(value: Any) -> bool:
+    return value is None
+
+
+def _compare(op: str, left: Any, right: Any) -> bool | None:
+    if _is_null(left) or _is_null(right):
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op in ("<>", "!="):
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise EslRuntimeError(
+            f"cannot compare {left!r} {op} {right!r}"
+        ) from exc
+    raise EslRuntimeError(f"unknown comparison operator {op!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if _is_null(left) or _is_null(right):
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None  # SQL: division by zero -> NULL in stream context
+            return left / right
+        if op == "%":
+            if right == 0:
+                return None
+            return left % right
+        if op == "||":
+            return str(left) + str(right)
+    except TypeError as exc:
+        raise EslRuntimeError(f"cannot apply {left!r} {op} {right!r}") from exc
+    raise EslRuntimeError(f"unknown arithmetic operator {op!r}")
+
+
+class BinaryOp(Expression):
+    """Arithmetic, comparison, or string concatenation."""
+
+    COMPARISONS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">="})
+    ARITHMETIC = frozenset({"+", "-", "*", "/", "%", "||"})
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in self.COMPARISONS and op not in self.ARITHMETIC:
+            raise EslSemanticError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, env: Env) -> Any:
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        if self.op in self.COMPARISONS:
+            return _compare(self.op, left, right)
+        return _arith(self.op, left, right)
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        yield from self.left.references()
+        yield from self.right.references()
+
+    def children(self) -> Iterable[Expression]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Expression):
+    """Kleene-logic conjunction over two or more operands."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Expression) -> None:
+        self.operands = operands
+
+    def eval(self, env: Env) -> bool | None:
+        saw_null = False
+        for operand in self.operands:
+            value = operand.eval(env)
+            if value is False:
+                return False
+            if value is None:
+                saw_null = True
+        return None if saw_null else True
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        for operand in self.operands:
+            yield from operand.references()
+
+    def children(self) -> Iterable[Expression]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        return "And(" + ", ".join(map(repr, self.operands)) + ")"
+
+
+class Or(Expression):
+    """Kleene-logic disjunction."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Expression) -> None:
+        self.operands = operands
+
+    def eval(self, env: Env) -> bool | None:
+        saw_null = False
+        for operand in self.operands:
+            value = operand.eval(env)
+            if value is True:
+                return True
+            if value is None:
+                saw_null = True
+        return None if saw_null else False
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        for operand in self.operands:
+            yield from operand.references()
+
+    def children(self) -> Iterable[Expression]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        return "Or(" + ", ".join(map(repr, self.operands)) + ")"
+
+
+class Not(Expression):
+    """Kleene-logic negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def eval(self, env: Env) -> bool | None:
+        value = self.operand.eval(env)
+        if value is None:
+            return None
+        return not value
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        yield from self.operand.references()
+
+    def children(self) -> Iterable[Expression]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"Not({self.operand!r})"
+
+
+class Negate(Expression):
+    """Arithmetic unary minus."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def eval(self, env: Env) -> Any:
+        value = self.operand.eval(env)
+        return None if value is None else -value
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        yield from self.operand.references()
+
+    def children(self) -> Iterable[Expression]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"Negate({self.operand!r})"
+
+
+class IsNull(Expression):
+    """``expr IS NULL`` / ``expr IS NOT NULL`` (set negate=True)."""
+
+    __slots__ = ("operand", "negate")
+
+    def __init__(self, operand: Expression, negate: bool = False) -> None:
+        self.operand = operand
+        self.negate = negate
+
+    def eval(self, env: Env) -> bool:
+        result = self.operand.eval(env) is None
+        return not result if self.negate else result
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        yield from self.operand.references()
+
+    def children(self) -> Iterable[Expression]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        op = "IS NOT NULL" if self.negate else "IS NULL"
+        return f"IsNull({self.operand!r} {op})"
+
+
+class Between(Expression):
+    """``expr BETWEEN low AND high`` (inclusive both ends, per SQL)."""
+
+    __slots__ = ("operand", "low", "high", "negate")
+
+    def __init__(
+        self,
+        operand: Expression,
+        low: Expression,
+        high: Expression,
+        negate: bool = False,
+    ) -> None:
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negate = negate
+
+    def eval(self, env: Env) -> bool | None:
+        value = self.operand.eval(env)
+        low = self.low.eval(env)
+        high = self.high.eval(env)
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return not result if self.negate else result
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        yield from self.operand.references()
+        yield from self.low.references()
+        yield from self.high.references()
+
+    def children(self) -> Iterable[Expression]:
+        return (self.operand, self.low, self.high)
+
+    def __repr__(self) -> str:
+        word = "NOT BETWEEN" if self.negate else "BETWEEN"
+        return f"Between({self.operand!r} {word} {self.low!r} AND {self.high!r})"
+
+
+class InList(Expression):
+    """``expr IN (v1, v2, ...)``."""
+
+    __slots__ = ("operand", "options", "negate")
+
+    def __init__(
+        self, operand: Expression, options: Sequence[Expression], negate: bool = False
+    ) -> None:
+        self.operand = operand
+        self.options = tuple(options)
+        self.negate = negate
+
+    def eval(self, env: Env) -> bool | None:
+        value = self.operand.eval(env)
+        if value is None:
+            return None
+        saw_null = False
+        for option in self.options:
+            candidate = option.eval(env)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return False if self.negate else True
+        if saw_null:
+            return None
+        return True if self.negate else False
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        yield from self.operand.references()
+        for option in self.options:
+            yield from option.references()
+
+    def children(self) -> Iterable[Expression]:
+        return (self.operand, *self.options)
+
+    def __repr__(self) -> str:
+        word = "NOT IN" if self.negate else "IN"
+        return f"InList({self.operand!r} {word} {list(self.options)!r})"
+
+
+class Like(Expression):
+    """SQL ``LIKE`` with ``%`` and ``_`` wildcards (used for EPC prefixes)."""
+
+    __slots__ = ("operand", "pattern", "negate", "_compiled")
+
+    def __init__(
+        self, operand: Expression, pattern: Expression, negate: bool = False
+    ) -> None:
+        self.operand = operand
+        self.pattern = pattern
+        self.negate = negate
+        self._compiled: tuple[str, Any] | None = None
+
+    def eval(self, env: Env) -> bool | None:
+        import re
+
+        value = self.operand.eval(env)
+        pattern = self.pattern.eval(env)
+        if value is None or pattern is None:
+            return None
+        if self._compiled is None or self._compiled[0] != pattern:
+            regex = re.compile(
+                "".join(
+                    ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+                    for ch in pattern
+                )
+                + r"\Z",
+                re.DOTALL,
+            )
+            self._compiled = (pattern, regex)
+        result = self._compiled[1].match(str(value)) is not None
+        return not result if self.negate else result
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        yield from self.operand.references()
+        yield from self.pattern.references()
+
+    def children(self) -> Iterable[Expression]:
+        return (self.operand, self.pattern)
+
+    def __repr__(self) -> str:
+        word = "NOT LIKE" if self.negate else "LIKE"
+        return f"Like({self.operand!r} {word} {self.pattern!r})"
+
+
+class FunctionCall(Expression):
+    """A scalar function or UDF call: looked up in the Env's registry."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expression]) -> None:
+        self.name = name
+        self.args = tuple(args)
+
+    def eval(self, env: Env) -> Any:
+        fn = env.lookup_function(self.name)
+        values = [arg.eval(env) for arg in self.args]
+        return fn(*values)
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        for arg in self.args:
+            yield from arg.references()
+
+    def children(self) -> Iterable[Expression]:
+        return self.args
+
+    def __repr__(self) -> str:
+        return f"FunctionCall({self.name}, {list(self.args)!r})"
+
+
+class Case(Expression):
+    """``CASE WHEN cond THEN value ... ELSE default END``."""
+
+    __slots__ = ("branches", "default")
+
+    def __init__(
+        self,
+        branches: Sequence[tuple[Expression, Expression]],
+        default: Expression | None = None,
+    ) -> None:
+        self.branches = tuple(branches)
+        self.default = default
+
+    def eval(self, env: Env) -> Any:
+        for condition, value in self.branches:
+            if condition.eval(env) is True:
+                return value.eval(env)
+        if self.default is not None:
+            return self.default.eval(env)
+        return None
+
+    def references(self) -> Iterator[tuple[str | None, str]]:
+        for condition, value in self.branches:
+            yield from condition.references()
+            yield from value.references()
+        if self.default is not None:
+            yield from self.default.references()
+
+    def children(self) -> Iterable[Expression]:
+        out: list[Expression] = []
+        for condition, value in self.branches:
+            out.append(condition)
+            out.append(value)
+        if self.default is not None:
+            out.append(self.default)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Case({len(self.branches)} branches)"
+
+
+class SubqueryPredicate(Expression):
+    """``EXISTS`` / ``NOT EXISTS`` over a compiled sub-query.
+
+    The sub-query itself is compiled to a callable by the query compiler;
+    this node just invokes it with the current Env so correlated references
+    resolve against outer bindings.
+    """
+
+    __slots__ = ("probe", "negate", "description")
+
+    def __init__(
+        self,
+        probe: Callable[[Env], bool],
+        negate: bool = False,
+        description: str = "subquery",
+    ) -> None:
+        self.probe = probe
+        self.negate = negate
+        self.description = description
+
+    def eval(self, env: Env) -> bool:
+        result = self.probe(env)
+        return not result if self.negate else result
+
+    def __repr__(self) -> str:
+        word = "NOT EXISTS" if self.negate else "EXISTS"
+        return f"SubqueryPredicate({word} {self.description})"
+
+
+def truthy(value: Any) -> bool:
+    """SQL WHERE-clause semantics: NULL counts as false."""
+    return value is True
+
+
+def conjoin(terms: Sequence[Expression]) -> Expression:
+    """Combine predicate terms into a single expression (TRUE when empty)."""
+    if not terms:
+        return Literal(True)
+    if len(terms) == 1:
+        return terms[0]
+    return And(*terms)

@@ -1,0 +1,219 @@
+"""Built-in scalar functions.
+
+These are the functions available in every :class:`~repro.dsms.engine.Engine`
+without registration.  UDFs registered through :mod:`repro.dsms.udf` shadow
+built-ins of the same name for that engine only.
+
+All functions follow SQL NULL propagation: if any argument is None the
+result is None (except ``coalesce`` and ``ifnull``, whose whole purpose is
+NULL handling).
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Any, Callable, Mapping
+
+
+def _null_propagating(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap *fn* so any None argument short-circuits to None."""
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+
+    return wrapper
+
+
+@_null_propagating
+def _upper(value: Any) -> str:
+    return str(value).upper()
+
+
+@_null_propagating
+def _lower(value: Any) -> str:
+    return str(value).lower()
+
+
+@_null_propagating
+def _length(value: Any) -> int:
+    return len(str(value))
+
+
+@_null_propagating
+def _substr(value: Any, start: int, length: int | None = None) -> str:
+    # SQL substr is 1-based.
+    text = str(value)
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + int(length)]
+
+
+@_null_propagating
+def _trim(value: Any) -> str:
+    return str(value).strip()
+
+
+@_null_propagating
+def _concat(*parts: Any) -> str:
+    return "".join(str(part) for part in parts)
+
+
+@_null_propagating
+def _abs(value: Any) -> Any:
+    return abs(value)
+
+
+@_null_propagating
+def _round(value: Any, digits: int = 0) -> float:
+    return round(float(value), int(digits))
+
+
+@_null_propagating
+def _floor(value: Any) -> int:
+    return math.floor(value)
+
+
+@_null_propagating
+def _ceil(value: Any) -> int:
+    return math.ceil(value)
+
+
+@_null_propagating
+def _mod(left: Any, right: Any) -> Any:
+    if right == 0:
+        return None
+    return left % right
+
+
+@_null_propagating
+def _power(base: Any, exponent: Any) -> float:
+    return float(base) ** float(exponent)
+
+
+@_null_propagating
+def _sqrt(value: Any) -> float:
+    return math.sqrt(value)
+
+
+@_null_propagating
+def _cast_int(value: Any) -> int:
+    return int(float(value))
+
+
+@_null_propagating
+def _cast_float(value: Any) -> float:
+    return float(value)
+
+
+@_null_propagating
+def _cast_str(value: Any) -> str:
+    return str(value)
+
+
+def _coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _ifnull(value: Any, default: Any) -> Any:
+    return default if value is None else value
+
+
+@_null_propagating
+def _instr(haystack: Any, needle: Any) -> int:
+    # 1-based position, 0 when absent (SQL convention).
+    return str(haystack).find(str(needle)) + 1
+
+
+@_null_propagating
+def _replace(value: Any, old: Any, new: Any) -> str:
+    return str(value).replace(str(old), str(new))
+
+
+@_null_propagating
+def _split_part(value: Any, sep: Any, index: Any) -> str | None:
+    """1-based field extraction, e.g. split_part('20.17.5001', '.', 3) = '5001'."""
+    parts = str(value).split(str(sep))
+    position = int(index)
+    if 1 <= position <= len(parts):
+        return parts[position - 1]
+    return None
+
+
+@_null_propagating
+def _extract_serial(epc: Any) -> int | None:
+    """Paper Example 3's UDF: serial-number part of a dotted EPC, as int.
+
+    EPCs are formatted ``company.product.serial``.  Returns None when the
+    serial part is absent or non-numeric, so malformed tags fall out of
+    WHERE clauses instead of crashing the query.
+    """
+    parts = str(epc).split(".")
+    if len(parts) < 3:
+        return None
+    try:
+        return int(parts[-1])
+    except ValueError:
+        return None
+
+
+@_null_propagating
+def _extract_company(epc: Any) -> str | None:
+    parts = str(epc).split(".")
+    return parts[0] if parts and parts[0] else None
+
+
+@_null_propagating
+def _extract_product(epc: Any) -> str | None:
+    parts = str(epc).split(".")
+    if len(parts) < 2:
+        return None
+    return parts[1]
+
+
+#: Name -> implementation for every built-in scalar function.
+BUILTINS: Mapping[str, Callable[..., Any]] = {
+    "upper": _upper,
+    "lower": _lower,
+    "length": _length,
+    "substr": _substr,
+    "substring": _substr,
+    "trim": _trim,
+    "concat": _concat,
+    "abs": _abs,
+    "round": _round,
+    "floor": _floor,
+    "ceil": _ceil,
+    "ceiling": _ceil,
+    "mod": _mod,
+    "power": _power,
+    "sqrt": _sqrt,
+    "int": _cast_int,
+    "to_int": _cast_int,
+    "float": _cast_float,
+    "to_float": _cast_float,
+    "str": _cast_str,
+    "to_str": _cast_str,
+    "coalesce": _coalesce,
+    "ifnull": _ifnull,
+    "instr": _instr,
+    "replace": _replace,
+    "split_part": _split_part,
+    # The EPC helpers the paper's Example 3 assumes exist as UDFs; we ship
+    # them as built-ins so the verbatim paper query runs out of the box.
+    "extract_serial": _extract_serial,
+    "extract_company": _extract_company,
+    "extract_product": _extract_product,
+}
+
+
+def default_functions() -> dict[str, Callable[..., Any]]:
+    """A fresh mutable copy of the built-in registry for an engine."""
+    return dict(BUILTINS)

@@ -1,0 +1,109 @@
+"""Ad-hoc snapshot queries.
+
+The paper (section 2.1, "Ad-hoc Queries") calls out queries like *"the
+current location of the patient"* — answered from live stream state without
+persisting readings to a database.  A :class:`SnapshotView` subscribes to a
+stream, maintains a bounded window of recent tuples, and answers one-shot
+SELECT-style questions against that window at any moment.
+
+This is the DSMS-side primitive; the ESL-EV front end compiles ad-hoc
+``SELECT ... FROM <stream> OVER (...)`` text onto it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from .aggregates import AggregateRegistry
+from .streams import Stream
+from .tuples import Tuple
+from .windows import RangeWindowBuffer, WindowSpec
+
+
+class SnapshotView:
+    """A continuously-maintained window supporting ad-hoc queries."""
+
+    def __init__(
+        self,
+        stream: Stream,
+        window: WindowSpec | float | None = None,
+        aggregates: AggregateRegistry | None = None,
+    ) -> None:
+        """Args:
+            stream: the stream to watch.
+            window: retention — a :class:`WindowSpec`, a duration in
+                seconds, or None for unbounded retention.
+            aggregates: registry used by :meth:`aggregate`; a private one is
+                created when omitted.
+        """
+        self.stream = stream
+        if isinstance(window, WindowSpec):
+            self._buffer = window.make_buffer()
+        elif window is None:
+            self._buffer = RangeWindowBuffer(None)
+        else:
+            self._buffer = RangeWindowBuffer(float(window))
+        self._aggregates = aggregates or AggregateRegistry()
+        self._unsubscribe = stream.subscribe(self._buffer.append)
+
+    def stop(self) -> None:
+        self._unsubscribe()
+
+    # -- queries ---------------------------------------------------------
+
+    def current(self) -> list[Tuple]:
+        """All tuples currently inside the window, oldest first."""
+        return list(self._buffer)
+
+    def select(
+        self,
+        where: Callable[[Tuple], bool] | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        """SELECT columns FROM window WHERE predicate — as dicts."""
+        out: list[dict[str, Any]] = []
+        for tup in self._buffer:
+            if where is not None and not where(tup):
+                continue
+            if columns is None:
+                out.append(tup.as_dict())
+            else:
+                out.append({name: tup[name] for name in columns})
+        return out
+
+    def latest_by(self, key_field: str) -> dict[Any, Tuple]:
+        """Most recent tuple per key — e.g. current location per tag_id.
+
+        This is exactly the paper's patient-tracking snapshot: the freshest
+        reading for each tracked entity, straight from stream state.
+        """
+        latest: dict[Any, Tuple] = {}
+        for tup in self._buffer:  # oldest-first, so later wins
+            latest[tup[key_field]] = tup
+        return latest
+
+    def aggregate(
+        self,
+        name: str,
+        column: str | None = None,
+        where: Callable[[Tuple], bool] | None = None,
+    ) -> Any:
+        """Run an aggregate over the window: ``view.aggregate('count')``."""
+        agg = self._aggregates.create(name if column is not None else "count(*)")
+        if column is not None:
+            agg = self._aggregates.create(name)
+        values: Iterable[Any]
+        tuples = (
+            tup for tup in self._buffer if where is None or where(tup)
+        )
+        if column is None:
+            values = (1 for _ in tuples)
+        else:
+            values = (tup[column] for tup in tuples)
+        return agg.compute(values)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:
+        return f"SnapshotView({self.stream.name!r}, {len(self)} tuples held)"

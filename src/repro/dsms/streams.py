@@ -1,0 +1,175 @@
+"""Streams and the stream registry.
+
+A :class:`Stream` is a named, schema'd, append-only sequence of tuples.
+Downstream consumers (continuous queries, operators, application callbacks)
+subscribe to a stream; pushing a tuple fans it out to every subscriber in
+subscription order.
+
+Streams enforce the timestamp-ordered contract from the paper's data model:
+a push with a timestamp earlier than the last accepted tuple raises
+:class:`OutOfOrderError` unless the stream was created with
+``allow_out_of_order=True`` (in which case tuples are buffered and released
+in order using a small reordering buffer — the common fix for jittery RFID
+readers).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .errors import OutOfOrderError, SchemaError, UnknownStreamError
+from .schema import Schema
+from .tuples import Tuple
+
+Subscriber = Callable[[Tuple], None]
+
+
+class Stream:
+    """A named append-only data stream.
+
+    Attributes:
+        name: the stream's registry name.
+        schema: its :class:`Schema`.
+        last_ts: timestamp of the most recently emitted tuple (None if none).
+        count: total tuples emitted so far.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        allow_out_of_order: bool = False,
+        reorder_slack: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.last_ts: float | None = None
+        self.count = 0
+        self._subscribers: list[Subscriber] = []
+        self._allow_ooo = allow_out_of_order
+        self._reorder_slack = reorder_slack
+        self._reorder_buffer: list[Tuple] = []
+        self._max_seen: float | None = None  # newest ts observed (pre-reorder)
+
+    def subscribe(self, callback: Subscriber) -> Callable[[], None]:
+        """Register *callback* for every future tuple; returns an unsubscriber."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def push(self, tup: Tuple) -> None:
+        """Emit *tup* to all subscribers, enforcing timestamp order."""
+        if tup.schema != self.schema:
+            raise SchemaError(
+                f"tuple schema {tup.schema!r} does not match stream "
+                f"{self.name!r} schema {self.schema!r}"
+            )
+        if not self._allow_ooo:
+            if self.last_ts is not None and tup.ts < self.last_ts:
+                raise OutOfOrderError(
+                    f"stream {self.name!r}: tuple at ts={tup.ts:g} after "
+                    f"ts={self.last_ts:g}"
+                )
+            self._deliver(tup)
+            return
+        if self._max_seen is not None and tup.ts < self._max_seen - self._reorder_slack:
+            # Too late even for the reorder buffer: drop, as ALE-style
+            # middleware does with stale reads.
+            return
+        self._max_seen = tup.ts if self._max_seen is None else max(
+            self._max_seen, tup.ts
+        )
+        heapq.heappush(self._reorder_buffer, tup)
+        self._release(self._max_seen - self._reorder_slack)
+
+    def flush(self) -> None:
+        """Release everything held in the reorder buffer (end of stream)."""
+        while self._reorder_buffer:
+            self._deliver(heapq.heappop(self._reorder_buffer))
+
+    def _release(self, watermark: float) -> None:
+        while self._reorder_buffer and self._reorder_buffer[0].ts <= watermark:
+            self._deliver(heapq.heappop(self._reorder_buffer))
+
+    def _deliver(self, tup: Tuple) -> None:
+        if self.last_ts is not None and tup.ts < self.last_ts:
+            tup = tup.with_ts(self.last_ts)  # clamp residual disorder
+        if not tup.stream:
+            tup.stream = self.name
+        self.last_ts = tup.ts
+        self.count += 1
+        for callback in tuple(self._subscribers):
+            callback(tup)
+
+    def push_row(self, values: Sequence[Any], ts: float) -> Tuple:
+        """Convenience: build a tuple from positional values and push it."""
+        tup = Tuple(self.schema, values, ts, self.name)
+        self.push(tup)
+        return tup
+
+    def push_dict(self, mapping: Mapping[str, Any], ts: float) -> Tuple:
+        """Convenience: build a tuple from a field mapping and push it."""
+        tup = Tuple.from_mapping(self.schema, mapping, ts, self.name)
+        self.push(tup)
+        return tup
+
+    def __repr__(self) -> str:
+        return f"Stream({self.name!r}, {len(self.schema)} cols, {self.count} tuples)"
+
+
+class StreamRegistry:
+    """Name -> :class:`Stream` catalog with case-insensitive lookup."""
+
+    def __init__(self) -> None:
+        self._streams: dict[str, Stream] = {}
+
+    def create(
+        self,
+        name: str,
+        schema: Schema | str | Iterable[str],
+        allow_out_of_order: bool = False,
+        reorder_slack: float = 0.0,
+    ) -> Stream:
+        """Create and register a stream.  Raises if the name is taken."""
+        key = name.lower()
+        if key in self._streams:
+            raise SchemaError(f"stream {name!r} already exists")
+        if isinstance(schema, str):
+            schema = Schema.parse(schema)
+        elif not isinstance(schema, Schema):
+            schema = Schema(schema)
+        stream = Stream(name, schema, allow_out_of_order, reorder_slack)
+        self._streams[key] = stream
+        return stream
+
+    def get(self, name: str) -> Stream:
+        try:
+            return self._streams[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._streams)) or "<none>"
+            raise UnknownStreamError(
+                f"unknown stream {name!r}; registered: {known}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        self._streams.pop(name.lower(), None)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._streams
+
+    def __iter__(self) -> Iterator[Stream]:
+        return iter(self._streams.values())
+
+    def __len__(self) -> int:
+        return len(self._streams)

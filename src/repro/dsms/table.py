@@ -1,0 +1,190 @@
+"""Persistent in-memory tables.
+
+The paper's stream–DB spanning queries (Example 2: location tracking) need a
+database table that continuous queries can read (context retrieval,
+correlated NOT EXISTS) and write (INSERT from a stream).  :class:`Table` is
+a small row store with optional hash indexes; it is deliberately not a full
+DBMS — it stands in for the persistent database the ESL system attaches to,
+preserving the query semantics the paper exercises.
+
+Rows are plain tuples validated against the table's schema.  Secondary hash
+indexes accelerate the equality probes the paper's queries use
+(``WHERE tagid = tid AND location = loc``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .errors import SchemaError, UnknownTableError
+from .schema import Schema
+from .tuples import Tuple
+
+
+class Table:
+    """A schema'd, indexable, in-memory row store."""
+
+    def __init__(self, name: str, schema: Schema | str) -> None:
+        self.name = name
+        self.schema = Schema.parse(schema) if isinstance(schema, str) else schema
+        self._rows: list[tuple[Any, ...]] = []
+        self._indexes: dict[tuple[str, ...], dict[tuple[Any, ...], list[int]]] = {}
+        self._dirty_indexes = False
+
+    # -- writes ---------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> None:
+        """Append one row after schema validation."""
+        self.schema.validate(values)
+        row = tuple(values)
+        position = len(self._rows)
+        self._rows.append(row)
+        for columns, index in self._indexes.items():
+            index[self._key_of(row, columns)].append(position)
+
+    def insert_dict(self, mapping: Mapping[str, Any]) -> None:
+        """Append a row given as ``{column: value}``; missing columns are NULL."""
+        extra = set(mapping) - set(self.schema.names)
+        if extra:
+            raise SchemaError(f"unknown columns {sorted(extra)} for {self.name!r}")
+        self.insert([mapping.get(name) for name in self.schema.names])
+
+    def insert_tuple(self, tup: Tuple) -> None:
+        """Append a stream tuple's values (schemas must align by name)."""
+        self.insert([tup.get(name) for name in self.schema.names])
+
+    def delete_where(self, predicate: Callable[[tuple[Any, ...]], bool]) -> int:
+        """Remove rows matching *predicate*; rebuilds indexes.  Returns count."""
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if not predicate(row)]
+        removed = before - len(self._rows)
+        if removed:
+            self._rebuild_indexes()
+        return removed
+
+    def update_where(
+        self,
+        predicate: Callable[[tuple[Any, ...]], bool],
+        updates: Mapping[str, Any],
+    ) -> int:
+        """Set *updates* on every row matching *predicate*.  Returns count."""
+        positions = {self.schema.position(name): value for name, value in updates.items()}
+        changed = 0
+        for i, row in enumerate(self._rows):
+            if predicate(row):
+                new_row = list(row)
+                for pos, value in positions.items():
+                    new_row[pos] = value
+                self._rows[i] = tuple(new_row)
+                changed += 1
+        if changed:
+            self._rebuild_indexes()
+        return changed
+
+    def clear(self) -> None:
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # -- indexes --------------------------------------------------------
+
+    def create_index(self, *columns: str) -> None:
+        """Build (or rebuild) a hash index on *columns*."""
+        key = tuple(columns)
+        for column in key:
+            self.schema.position(column)  # validates
+        index: dict[tuple[Any, ...], list[int]] = defaultdict(list)
+        for position, row in enumerate(self._rows):
+            index[self._key_of(row, key)].append(position)
+        self._indexes[key] = index
+
+    def _key_of(self, row: tuple[Any, ...], columns: tuple[str, ...]) -> tuple[Any, ...]:
+        return tuple(row[self.schema.position(column)] for column in columns)
+
+    def _rebuild_indexes(self) -> None:
+        for columns in list(self._indexes):
+            self.create_index(*columns)
+
+    # -- reads ----------------------------------------------------------
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._rows)
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Rows as dicts (convenient for assertions and reports)."""
+        names = self.schema.names
+        for row in self._rows:
+            yield dict(zip(names, row))
+
+    def lookup(self, **criteria: Any) -> Iterator[dict[str, Any]]:
+        """Equality lookup; uses a matching index when one exists.
+
+        ``table.lookup(tagid='t1', location='dock')`` yields matching rows
+        as dicts.
+        """
+        key = tuple(sorted(criteria))
+        index = self._indexes.get(key)
+        names = self.schema.names
+        if index is not None:
+            wanted = tuple(criteria[column] for column in key)
+            for position in index.get(wanted, ()):
+                yield dict(zip(names, self._rows[position]))
+            return
+        positions = {self.schema.position(c): v for c, v in criteria.items()}
+        for row in self._rows:
+            if all(row[pos] == value for pos, value in positions.items()):
+                yield dict(zip(names, row))
+
+    def exists(self, **criteria: Any) -> bool:
+        """True when at least one row matches the equality criteria."""
+        return next(self.lookup(**criteria), None) is not None
+
+    def as_tuples(self, ts: float = 0.0) -> Iterator[Tuple]:
+        """Rows as stream tuples (for table scans inside queries)."""
+        for row in self._rows:
+            yield Tuple(self.schema, row, ts, self.name)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self._rows)} rows)"
+
+
+class TableRegistry:
+    """Name -> :class:`Table` catalog (case-insensitive)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create(self, name: str, schema: Schema | str | Iterable[str]) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        if not isinstance(schema, (Schema, str)):
+            schema = Schema(schema)
+        table = Table(name, schema)  # type: ignore[arg-type]
+        self._tables[key] = table
+        return table
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "<none>"
+            raise UnknownTableError(
+                f"unknown table {name!r}; registered: {known}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name.lower(), None)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,90 @@
+"""Single-stream transducers.
+
+The paper describes Example 1 as "a single-stream transducer in a DSMS...
+a continuous query that takes in a tuple, and produces tuples into another
+data stream."  This module provides that building block directly, for
+applications that want to express transformations in Python rather than in
+ESL-EV text (the compiled language queries are themselves built from these
+pieces).
+
+A transducer is a function ``Tuple -> iterable of Tuples`` wired between an
+input stream and an output stream.  Stateful transducers are ordinary
+closures or objects with ``__call__``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .errors import SchemaError
+from .streams import Stream
+from .tuples import Tuple
+
+TransducerFn = Callable[[Tuple], Iterable[Tuple]]
+
+
+class Transducer:
+    """Wires a per-tuple function between an input and an output stream."""
+
+    def __init__(
+        self,
+        source: Stream,
+        sink: Stream,
+        fn: TransducerFn,
+        name: str = "",
+    ) -> None:
+        self.source = source
+        self.sink = sink
+        self.fn = fn
+        self.name = name or f"{source.name}->{sink.name}"
+        self.in_count = 0
+        self.out_count = 0
+        self._unsubscribe = source.subscribe(self._on_tuple)
+
+    def _on_tuple(self, tup: Tuple) -> None:
+        self.in_count += 1
+        for out in self.fn(tup):
+            if out.schema != self.sink.schema:
+                raise SchemaError(
+                    f"transducer {self.name!r} produced schema {out.schema!r}, "
+                    f"sink expects {self.sink.schema!r}"
+                )
+            self.sink.push(out)
+            self.out_count += 1
+
+    def stop(self) -> None:
+        self._unsubscribe()
+
+    @property
+    def selectivity(self) -> float:
+        """Output/input ratio so far (1.0 when nothing has arrived)."""
+        if not self.in_count:
+            return 1.0
+        return self.out_count / self.in_count
+
+    def __repr__(self) -> str:
+        return (
+            f"Transducer({self.name!r}, in={self.in_count}, out={self.out_count})"
+        )
+
+
+def map_transducer(
+    source: Stream, sink: Stream, fn: Callable[[Tuple], Tuple]
+) -> Transducer:
+    """A 1:1 transducer from a plain mapping function."""
+    return Transducer(source, sink, lambda tup: (fn(tup),))
+
+
+def filter_transducer(
+    source: Stream, sink: Stream, predicate: Callable[[Tuple], bool]
+) -> Transducer:
+    """A filtering transducer passing tuples through unchanged.
+
+    Source and sink must share a schema.
+    """
+    if source.schema != sink.schema:
+        raise SchemaError(
+            f"filter transducer needs matching schemas, got {source.schema!r} "
+            f"vs {sink.schema!r}"
+        )
+    return Transducer(source, sink, lambda tup: (tup,) if predicate(tup) else ())

@@ -1,0 +1,75 @@
+"""User-defined scalar functions.
+
+UDFs are plain Python callables registered under a case-insensitive name.
+The paper's Example 3 assumes ``extract_serial`` exists as a UDF; this
+module is how an application would supply it (we also ship it as a built-in
+for convenience).
+
+NULL propagation is opt-in via ``strict=True`` (the SQL default behaviour
+for most functions): a strict UDF returns NULL whenever any argument is
+NULL, without being invoked.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from .errors import EslSemanticError, UnknownFunctionError
+
+
+class UdfRegistry:
+    """Case-insensitive name -> callable registry layered over built-ins."""
+
+    def __init__(self, builtins: dict[str, Callable[..., Any]] | None = None) -> None:
+        self._functions: dict[str, Callable[..., Any]] = dict(builtins or {})
+
+    def register(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        strict: bool = True,
+        replace: bool = False,
+    ) -> None:
+        """Register *fn* under *name*.
+
+        Args:
+            strict: if True, any NULL argument yields NULL without calling fn.
+            replace: allow overwriting an existing registration.
+        """
+        key = name.lower()
+        if not replace and key in self._functions:
+            raise EslSemanticError(f"function {name!r} is already registered")
+        if strict:
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any) -> Any:
+                if any(arg is None for arg in args):
+                    return None
+                return fn(*args)
+
+            self._functions[key] = wrapper
+        else:
+            self._functions[key] = fn
+
+    def udf(self, name: str | None = None, strict: bool = True) -> Callable:
+        """Decorator form: ``@registry.udf()`` or ``@registry.udf('name')``."""
+
+        def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+            self.register(name or fn.__name__, fn, strict=strict)
+            return fn
+
+        return decorate
+
+    def get(self, name: str) -> Callable[..., Any]:
+        fn = self._functions.get(name.lower())
+        if fn is None:
+            raise UnknownFunctionError(f"unknown function {name!r}")
+        return fn
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._functions
+
+    def as_mapping(self) -> dict[str, Callable[..., Any]]:
+        """The live mapping handed to expression Envs (shared, not copied)."""
+        return self._functions

@@ -1,0 +1,246 @@
+"""Sliding-window specifications and buffers.
+
+Two buffer families implement the SQL:2003-style windows ESL-EV uses:
+
+* :class:`RangeWindowBuffer` — time-based (``RANGE 1 SECONDS PRECEDING``),
+  retaining every tuple whose timestamp is within a duration of the newest
+  observed time.
+* :class:`RowsWindowBuffer` — count-based (``ROWS 10 PRECEDING``), retaining
+  the last N tuples.
+
+Both support *symmetric* queries (``PRECEDING AND FOLLOWING``, paper
+section 3.2) through :meth:`tuples_between`, provided the caller retains
+tuples long enough — the engine's cross-sub-query operator does this with
+timers.
+
+Durations in ESL-EV text (``30 MINUTES``) normalize to seconds via
+:func:`duration_seconds`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Mapping
+
+from .errors import WindowError
+from .tuples import Tuple
+
+#: Unit name (singular, lowercase) -> seconds.  The parser strips plurals.
+TIME_UNITS: Mapping[str, float] = {
+    "millisecond": 0.001,
+    "second": 1.0,
+    "minute": 60.0,
+    "hour": 3600.0,
+    "day": 86400.0,
+}
+
+
+def duration_seconds(amount: float, unit: str) -> float:
+    """Normalize ``(30, 'MINUTES')`` to seconds.
+
+    Accepts singular or plural unit names, case-insensitively.
+    """
+    name = unit.strip().lower()
+    if name.endswith("s") and name not in TIME_UNITS:
+        name = name[:-1]
+    if name not in TIME_UNITS:
+        known = ", ".join(sorted(TIME_UNITS))
+        raise WindowError(f"unknown time unit {unit!r}; expected one of {known}")
+    if amount < 0:
+        raise WindowError(f"negative duration: {amount} {unit}")
+    return float(amount) * TIME_UNITS[name]
+
+
+class WindowSpec:
+    """A parsed window clause.
+
+    Attributes:
+        kind: ``"range"`` (time) or ``"rows"`` (count).
+        preceding: seconds (range) or rows (rows) looking backwards; None
+            means unbounded.
+        following: seconds looking forwards (0 for ordinary windows; positive
+            only for the paper's PRECEDING AND FOLLOWING extension).
+        include_current: whether the probing tuple itself is inside the
+            window.  Example 1's duplicate filter excludes it (a tuple is not
+            its own duplicate).
+    """
+
+    __slots__ = ("kind", "preceding", "following", "include_current")
+
+    def __init__(
+        self,
+        kind: str = "range",
+        preceding: float | None = None,
+        following: float = 0.0,
+        include_current: bool = False,
+    ) -> None:
+        if kind not in ("range", "rows"):
+            raise WindowError(f"unknown window kind {kind!r}")
+        if kind == "rows" and following:
+            raise WindowError("ROWS windows cannot have a FOLLOWING part")
+        self.kind = kind
+        self.preceding = preceding
+        self.following = float(following)
+        self.include_current = include_current
+
+    @property
+    def symmetric(self) -> bool:
+        """True for PRECEDING AND FOLLOWING windows."""
+        return self.following > 0
+
+    def make_buffer(self) -> "RangeWindowBuffer | RowsWindowBuffer":
+        """Build the matching buffer.  Symmetric windows need range buffers
+        that retain ``preceding + following`` seconds behind the newest
+        tuple so both sides of any anchor stay queryable."""
+        if self.kind == "rows":
+            if self.preceding is None:
+                raise WindowError("ROWS window requires a row count")
+            return RowsWindowBuffer(int(self.preceding))
+        if self.preceding is None:
+            return RangeWindowBuffer(None)
+        return RangeWindowBuffer(self.preceding + self.following)
+
+    def __repr__(self) -> str:
+        if self.kind == "rows":
+            return f"WindowSpec(ROWS {self.preceding:g} PRECEDING)"
+        parts = []
+        if self.preceding is None:
+            parts.append("UNBOUNDED PRECEDING")
+        else:
+            parts.append(f"RANGE {self.preceding:g}s PRECEDING")
+        if self.following:
+            parts.append(f"AND {self.following:g}s FOLLOWING")
+        return f"WindowSpec({' '.join(parts)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WindowSpec):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.preceding == other.preceding
+            and self.following == other.following
+            and self.include_current == other.include_current
+        )
+
+
+class RangeWindowBuffer:
+    """Time-based window: keeps tuples within *duration* of the newest time.
+
+    Tuples must be appended in timestamp order (the stream contract
+    guarantees this).  ``duration=None`` means unbounded retention.
+    """
+
+    __slots__ = ("duration", "_tuples", "_latest")
+
+    def __init__(self, duration: float | None) -> None:
+        if duration is not None and duration < 0:
+            raise WindowError(f"negative window duration: {duration}")
+        self.duration = duration
+        self._tuples: deque[Tuple] = deque()
+        self._latest: float | None = None
+
+    def append(self, tup: Tuple) -> None:
+        """Add *tup* and evict everything that fell out of the window."""
+        self._tuples.append(tup)
+        self._latest = tup.ts
+        self.evict(tup.ts)
+
+    def evict(self, now: float) -> int:
+        """Drop tuples older than ``now - duration``; returns drop count."""
+        if self.duration is None:
+            return 0
+        cutoff = now - self.duration
+        dropped = 0
+        while self._tuples and self._tuples[0].ts < cutoff:
+            self._tuples.popleft()
+            dropped += 1
+        return dropped
+
+    def tuples_between(self, lo: float, hi: float) -> Iterator[Tuple]:
+        """Tuples with ``lo <= ts <= hi`` in arrival order.
+
+        Only sound if the buffer still retains everything at or after *lo*;
+        callers working with symmetric windows size the buffer accordingly.
+        """
+        for tup in self._tuples:
+            if tup.ts > hi:
+                break
+            if tup.ts >= lo:
+                yield tup
+
+    def tuples_preceding(
+        self, anchor: Tuple, duration: float, include_anchor: bool = False
+    ) -> Iterator[Tuple]:
+        """Tuples within *duration* before *anchor* (Example 1 semantics).
+
+        Excludes tuples arriving after the anchor; ``include_anchor``
+        controls whether the anchor tuple itself (matched by identity) is
+        yielded.
+        """
+        lo = anchor.ts - duration
+        for tup in self._tuples:
+            if (tup.ts, tup.seq) > (anchor.ts, anchor.seq):
+                break
+            if tup is anchor and not include_anchor:
+                continue
+            if tup.ts >= lo:
+                yield tup
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    @property
+    def latest_ts(self) -> float | None:
+        return self._latest
+
+    def clear(self) -> None:
+        self._tuples.clear()
+
+    def __repr__(self) -> str:
+        span = "unbounded" if self.duration is None else f"{self.duration:g}s"
+        return f"RangeWindowBuffer({span}, {len(self)} tuples)"
+
+
+class RowsWindowBuffer:
+    """Count-based window: keeps the most recent *capacity* tuples."""
+
+    __slots__ = ("capacity", "_tuples")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise WindowError(f"negative window capacity: {capacity}")
+        self.capacity = capacity
+        self._tuples: deque[Tuple] = deque(maxlen=capacity if capacity else 1)
+        if capacity == 0:
+            self._tuples = deque(maxlen=0)
+
+    def append(self, tup: Tuple) -> None:
+        self._tuples.append(tup)
+
+    def evict(self, now: float) -> int:
+        return 0  # deque maxlen handles eviction on append
+
+    def tuples_preceding(
+        self, anchor: Tuple, duration: float | None = None, include_anchor: bool = False
+    ) -> Iterator[Tuple]:
+        for tup in self._tuples:
+            if (tup.ts, tup.seq) > (anchor.ts, anchor.seq):
+                break
+            if tup is anchor and not include_anchor:
+                continue
+            yield tup
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def clear(self) -> None:
+        self._tuples.clear()
+
+    def __repr__(self) -> str:
+        return f"RowsWindowBuffer({self.capacity}, {len(self)} tuples)"

@@ -1,0 +1,13 @@
+"""EPC (Electronic Product Code) substrate: codes and ALE-style patterns."""
+
+from .codes import EpcCode, generate_epcs, is_valid_epc, GID96_HEADER
+from .patterns import EpcPattern, pattern_to_sql
+
+__all__ = [
+    "EpcCode",
+    "EpcPattern",
+    "GID96_HEADER",
+    "generate_epcs",
+    "is_valid_epc",
+    "pattern_to_sql",
+]

@@ -1,0 +1,174 @@
+"""EPC (Electronic Product Code) identities.
+
+The paper's tag IDs are dotted EPCs of the form
+``company.productcode.serialnumber`` (e.g. ``20.17.5001``), following the
+EPCGlobal Tag Data Standard's General Identifier layout in decimal "URI
+style".  This module provides parsing, validation, formatting, a GID-96
+binary encoding (the 96-bit layout the standard defines: 8-bit header,
+28-bit manager, 24-bit object class, 36-bit serial), and deterministic
+generators used by the RFID workload simulators.
+
+Real deployments read binary EPCs off tags and convert to the URI form in
+middleware; our simulated readers emit the dotted decimal form directly, as
+the paper's examples do.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..dsms.errors import EpcFormatError
+
+#: GID-96 field widths (bits), per the EPC Tag Data Standard v1.1.
+GID96_HEADER = 0x35
+_MANAGER_BITS = 28
+_CLASS_BITS = 24
+_SERIAL_BITS = 36
+
+MAX_MANAGER = (1 << _MANAGER_BITS) - 1
+MAX_CLASS = (1 << _CLASS_BITS) - 1
+MAX_SERIAL = (1 << _SERIAL_BITS) - 1
+
+
+class EpcCode:
+    """A parsed EPC: ``company.product.serial``.
+
+    Instances are immutable and hashable, so they work as dict keys in the
+    containment/ground-truth bookkeeping of the simulators.
+    """
+
+    __slots__ = ("company", "product", "serial")
+
+    def __init__(self, company: int, product: int, serial: int) -> None:
+        if not 0 <= company <= MAX_MANAGER:
+            raise EpcFormatError(f"company {company} out of range 0..{MAX_MANAGER}")
+        if not 0 <= product <= MAX_CLASS:
+            raise EpcFormatError(f"product {product} out of range 0..{MAX_CLASS}")
+        if not 0 <= serial <= MAX_SERIAL:
+            raise EpcFormatError(f"serial {serial} out of range 0..{MAX_SERIAL}")
+        self.company = company
+        self.product = product
+        self.serial = serial
+
+    @classmethod
+    def parse(cls, text: str) -> "EpcCode":
+        """Parse ``"20.17.5001"`` into an :class:`EpcCode`."""
+        parts = str(text).split(".")
+        if len(parts) != 3:
+            raise EpcFormatError(
+                f"EPC must have 3 dotted parts (company.product.serial): {text!r}"
+            )
+        try:
+            company, product, serial = (int(part) for part in parts)
+        except ValueError:
+            raise EpcFormatError(f"EPC parts must be integers: {text!r}") from None
+        return cls(company, product, serial)
+
+    @classmethod
+    def from_gid96(cls, value: int) -> "EpcCode":
+        """Decode a 96-bit GID integer."""
+        if value < 0 or value >= (1 << 96):
+            raise EpcFormatError(f"GID-96 value out of range: {value}")
+        header = value >> 88
+        if header != GID96_HEADER:
+            raise EpcFormatError(
+                f"not a GID-96 EPC: header {header:#04x} != {GID96_HEADER:#04x}"
+            )
+        serial = value & MAX_SERIAL
+        product = (value >> _SERIAL_BITS) & MAX_CLASS
+        company = (value >> (_SERIAL_BITS + _CLASS_BITS)) & MAX_MANAGER
+        return cls(company, product, serial)
+
+    def to_gid96(self) -> int:
+        """Encode as a 96-bit GID integer."""
+        return (
+            (GID96_HEADER << 88)
+            | (self.company << (_SERIAL_BITS + _CLASS_BITS))
+            | (self.product << _SERIAL_BITS)
+            | self.serial
+        )
+
+    def to_uri(self) -> str:
+        """The EPC Tag URI form: ``urn:epc:id:gid:20.17.5001``."""
+        return f"urn:epc:id:gid:{self.company}.{self.product}.{self.serial}"
+
+    @classmethod
+    def from_uri(cls, uri: str) -> "EpcCode":
+        prefix = "urn:epc:id:gid:"
+        if not uri.startswith(prefix):
+            raise EpcFormatError(f"not a GID EPC URI: {uri!r}")
+        return cls.parse(uri[len(prefix):])
+
+    def __str__(self) -> str:
+        return f"{self.company}.{self.product}.{self.serial}"
+
+    def __repr__(self) -> str:
+        return f"EpcCode({self.company}, {self.product}, {self.serial})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EpcCode):
+            return (
+                self.company == other.company
+                and self.product == other.product
+                and self.serial == other.serial
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.company, self.product, self.serial))
+
+    def __lt__(self, other: "EpcCode") -> bool:
+        return (self.company, self.product, self.serial) < (
+            other.company,
+            other.product,
+            other.serial,
+        )
+
+
+def is_valid_epc(text: str) -> bool:
+    """True when *text* parses as a dotted EPC."""
+    try:
+        EpcCode.parse(text)
+    except EpcFormatError:
+        return False
+    return True
+
+
+def generate_epcs(
+    count: int,
+    company: int | tuple[int, int] = 20,
+    product: int | tuple[int, int] = (1, 99),
+    serial: tuple[int, int] = (1, 99999),
+    rng: random.Random | None = None,
+    unique: bool = True,
+) -> Iterator[EpcCode]:
+    """Yield *count* random EPCs.
+
+    *company* and *product* may be a fixed value or an inclusive range;
+    *serial* is always a range.  With ``unique=True`` no EPC repeats (the
+    generator raises if the space is too small).
+    """
+    rng = rng or random.Random(0)
+
+    def pick(spec: int | tuple[int, int]) -> int:
+        if isinstance(spec, tuple):
+            return rng.randint(spec[0], spec[1])
+        return spec
+
+    seen: set[EpcCode] = set()
+    attempts = 0
+    produced = 0
+    while produced < count:
+        code = EpcCode(pick(company), pick(product), rng.randint(*serial))
+        attempts += 1
+        if unique:
+            if code in seen:
+                if attempts > 100 * count + 1000:
+                    raise EpcFormatError(
+                        "EPC space too small for the requested unique count"
+                    )
+                continue
+            seen.add(code)
+        yield code
+        produced += 1

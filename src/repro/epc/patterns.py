@@ -1,0 +1,153 @@
+"""ALE-style EPC patterns: ``20.*.[5000-9999]``.
+
+The RFID Application Level Events (ALE) standard — and the paper's
+Example 3 — group and aggregate tag readings by EPC patterns.  A pattern has
+one segment per EPC part; each segment is:
+
+* a literal integer (``20``) matching exactly that value,
+* ``*`` matching anything, or
+* an inclusive range ``[lo-hi]`` (``[5000-9999]``).
+
+:class:`EpcPattern` compiles the textual form once and matches EPCs (parsed
+or textual) quickly.  :func:`pattern_to_sql` emits the equivalent ESL-EV
+WHERE fragment — the translation the paper demonstrates with LIKE +
+``extract_serial`` — so tests can check the two formulations agree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..dsms.errors import EpcFormatError
+from .codes import EpcCode
+
+
+class _Segment:
+    """One compiled pattern segment."""
+
+    __slots__ = ("kind", "value", "low", "high")
+
+    def __init__(self, text: str) -> None:
+        text = text.strip()
+        if text == "*":
+            self.kind = "star"
+            self.value = self.low = self.high = 0
+            return
+        if text.startswith("[") and text.endswith("]"):
+            body = text[1:-1]
+            sep = body.find("-", 1)  # allow the first char to be a digit only
+            if sep < 0:
+                raise EpcFormatError(f"malformed range segment: {text!r}")
+            try:
+                self.low = int(body[:sep])
+                self.high = int(body[sep + 1:])
+            except ValueError:
+                raise EpcFormatError(f"non-integer range bounds: {text!r}") from None
+            if self.low > self.high:
+                raise EpcFormatError(f"empty range {text!r} (low > high)")
+            self.kind = "range"
+            self.value = 0
+            return
+        try:
+            self.value = int(text)
+        except ValueError:
+            raise EpcFormatError(f"malformed pattern segment: {text!r}") from None
+        self.kind = "literal"
+        self.low = self.high = self.value
+
+    def matches(self, part: int) -> bool:
+        if self.kind == "star":
+            return True
+        if self.kind == "literal":
+            return part == self.value
+        return self.low <= part <= self.high
+
+    def __repr__(self) -> str:
+        if self.kind == "star":
+            return "*"
+        if self.kind == "literal":
+            return str(self.value)
+        return f"[{self.low}-{self.high}]"
+
+
+class EpcPattern:
+    """A compiled three-segment EPC pattern."""
+
+    __slots__ = ("text", "_segments")
+
+    def __init__(self, text: str) -> None:
+        parts = text.split(".")
+        if len(parts) != 3:
+            raise EpcFormatError(
+                f"EPC pattern needs 3 dotted segments, got {len(parts)}: {text!r}"
+            )
+        self.text = text
+        self._segments = tuple(_Segment(part) for part in parts)
+
+    def matches(self, epc: EpcCode | str) -> bool:
+        """True when *epc* (code or dotted text) matches this pattern.
+
+        Malformed EPC text never matches (readers do produce garbage).
+        """
+        if isinstance(epc, str):
+            try:
+                epc = EpcCode.parse(epc)
+            except EpcFormatError:
+                return False
+        company, product, serial = self._segments
+        return (
+            company.matches(epc.company)
+            and product.matches(epc.product)
+            and serial.matches(epc.serial)
+        )
+
+    def filter(self, epcs: Iterable[EpcCode | str]) -> Iterable[EpcCode | str]:
+        """Lazily yield the inputs that match."""
+        return (epc for epc in epcs if self.matches(epc))
+
+    @property
+    def segments(self) -> tuple[_Segment, _Segment, _Segment]:
+        return self._segments  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return f"EpcPattern({self.text!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EpcPattern) and self.text == other.text
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+
+def pattern_to_sql(pattern: EpcPattern | str, column: str = "tid") -> str:
+    """Translate a pattern into the paper's SQL predicate form.
+
+    ``20.*.[5000-9999]`` becomes::
+
+        tid LIKE '20.%.%' AND extract_serial(tid) >= 5000
+                           AND extract_serial(tid) <= 9999
+
+    Literal/range conditions per segment use ``extract_company`` /
+    ``extract_product`` / ``extract_serial``.  The result is a WHERE-clause
+    fragment parsable by the ESL-EV parser.
+    """
+    if isinstance(pattern, str):
+        pattern = EpcPattern(pattern)
+    company, product, serial = pattern.segments
+    like_parts = [
+        str(seg.value) if seg.kind == "literal" else "%"
+        for seg in (company, product, serial)
+    ]
+    conditions = [f"{column} LIKE '{'.'.join(like_parts)}'"]
+    extractors = ("extract_company", "extract_product", "extract_serial")
+    for segment, extractor in zip((company, product, serial), extractors):
+        if segment.kind == "range":
+            # extract_company returns text; compare numerically via to_int.
+            accessor = (
+                f"to_int({extractor}({column}))"
+                if extractor != "extract_serial"
+                else f"{extractor}({column})"
+            )
+            conditions.append(f"{accessor} >= {segment.low}")
+            conditions.append(f"{accessor} <= {segment.high}")
+    return " AND ".join(conditions)

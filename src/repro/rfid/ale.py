@@ -1,0 +1,180 @@
+"""An ALE-style reporting layer (EPCGlobal Application Level Events).
+
+The paper motivates its language partly through the ALE standard's
+requirements: "a common interface to process raw RFID events, including
+data filtering, windows-based aggregation, and reporting", with EPC-pattern
+based grouping (the ``20.*.[5000-9999]`` example).  This module implements
+the relevant slice of ALE on top of the DSMS:
+
+* an **event cycle** — a repeating, fixed-duration collection window over
+  one or more reading streams (driven by engine timers, so cycles close on
+  virtual time even with no arrivals);
+* **filtering** by include/exclude EPC patterns;
+* **report sets** — CURRENT (everything seen this cycle), ADDITIONS (new
+  vs. previous cycle), DELETIONS (gone vs. previous cycle);
+* **grouping/counting** by EPC pattern.
+
+This demonstrates that the paper's target middleware interface is
+expressible over the same substrate the ESL-EV queries run on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..dsms.engine import Engine
+from ..dsms.tuples import Tuple
+from ..epc.patterns import EpcPattern
+
+
+class CycleReport:
+    """One event-cycle report."""
+
+    __slots__ = ("cycle_index", "start", "end", "current", "additions",
+                 "deletions", "group_counts")
+
+    def __init__(
+        self,
+        cycle_index: int,
+        start: float,
+        end: float,
+        current: frozenset[str],
+        additions: frozenset[str],
+        deletions: frozenset[str],
+        group_counts: dict[str, int],
+    ) -> None:
+        self.cycle_index = cycle_index
+        self.start = start
+        self.end = end
+        self.current = current
+        self.additions = additions
+        self.deletions = deletions
+        self.group_counts = group_counts
+
+    @property
+    def count(self) -> int:
+        return len(self.current)
+
+    def __repr__(self) -> str:
+        return (
+            f"CycleReport(#{self.cycle_index} [{self.start:g},{self.end:g}) "
+            f"current={len(self.current)} +{len(self.additions)} "
+            f"-{len(self.deletions)})"
+        )
+
+
+class EventCycle:
+    """A repeating ALE event cycle over reading streams.
+
+    Args:
+        engine: the owning engine (provides streams and the clock).
+        streams: stream names carrying readings.
+        tag_field: which field holds the EPC text.
+        duration: cycle length in (virtual) seconds.
+        include: EPC patterns a tag must match (any of) to be reported;
+            empty means match-all.
+        exclude: EPC patterns that veto a tag.
+        group_by: named patterns whose per-cycle tag counts are reported.
+        on_report: optional callback per closed cycle.
+        start: virtual time of the first cycle's start (default: now).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        streams: Sequence[str],
+        tag_field: str,
+        duration: float,
+        include: Iterable[EpcPattern | str] = (),
+        exclude: Iterable[EpcPattern | str] = (),
+        group_by: dict[str, EpcPattern | str] | None = None,
+        on_report: Callable[[CycleReport], None] | None = None,
+        start: float | None = None,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError("cycle duration must be positive")
+        self.engine = engine
+        self.tag_field = tag_field
+        self.duration = duration
+        self.include = [
+            p if isinstance(p, EpcPattern) else EpcPattern(p) for p in include
+        ]
+        self.exclude = [
+            p if isinstance(p, EpcPattern) else EpcPattern(p) for p in exclude
+        ]
+        self.group_by = {
+            name: (p if isinstance(p, EpcPattern) else EpcPattern(p))
+            for name, p in (group_by or {}).items()
+        }
+        self.reports: list[CycleReport] = []
+        self._on_report = on_report
+        self._seen: set[str] = set()
+        self._previous: frozenset[str] = frozenset()
+        self._cycle_index = 0
+        self._cycle_start = engine.now if start is None else start
+        self._stopped = False
+        self._unsubscribes = [
+            engine.streams.get(name).subscribe(self._on_tuple) for name in streams
+        ]
+        self._arm()
+
+    def stop(self) -> None:
+        self._stopped = True
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes.clear()
+
+    def _arm(self) -> None:
+        deadline = self._cycle_start + self.duration
+        self.engine.clock.schedule(deadline, self._close_cycle, periodic=True)
+
+    def _passes(self, tag: str) -> bool:
+        if self.include and not any(p.matches(tag) for p in self.include):
+            return False
+        if any(p.matches(tag) for p in self.exclude):
+            return False
+        return True
+
+    def _on_tuple(self, tup: Tuple) -> None:
+        tag = tup.get(self.tag_field)
+        if tag is None:
+            return
+        tag = str(tag)
+        if tup.ts < self._cycle_start:
+            return  # before the first cycle opened
+        if self._passes(tag):
+            self._seen.add(tag)
+
+    def _close_cycle(self, fired_at: float) -> None:
+        if self._stopped:
+            return
+        current = frozenset(self._seen)
+        additions = current - self._previous
+        deletions = self._previous - current
+        group_counts = {
+            name: sum(1 for tag in current if pattern.matches(tag))
+            for name, pattern in self.group_by.items()
+        }
+        report = CycleReport(
+            self._cycle_index,
+            self._cycle_start,
+            self._cycle_start + self.duration,
+            current,
+            frozenset(additions),
+            frozenset(deletions),
+            group_counts,
+        )
+        self.reports.append(report)
+        if self._on_report is not None:
+            self._on_report(report)
+        self._previous = current
+        self._seen = set()
+        self._cycle_index += 1
+        self._cycle_start += self.duration
+        self._arm()
+
+    def __repr__(self) -> str:
+        return (
+            f"EventCycle(duration={self.duration:g}s, "
+            f"cycle={self._cycle_index}, reports={len(self.reports)})"
+        )

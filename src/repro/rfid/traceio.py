@@ -1,0 +1,132 @@
+"""Trace persistence: CSV import/export for reading streams.
+
+Real deployments capture reader output as flat files; this module moves
+traces between disk and the engine:
+
+* :func:`save_trace` — write ``(stream, row, ts)`` records to CSV, one
+  file per format: a ``stream`` column, a ``ts`` column, and the union of
+  the row fields;
+* :func:`load_trace` — read them back, coercing values against the
+  engine's declared stream schemas (so ints stay ints);
+* :func:`replay` — feed a loaded trace into an engine, optionally scaled
+  (time-compressed replays for testing, as middleware test rigs do).
+
+The format is deliberately trivial — one reading per line — so traces are
+diffable and editable by hand.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..dsms.engine import Engine
+from ..dsms.errors import EslSemanticError
+
+TraceRecord = tuple[str, dict[str, Any], float]
+
+#: Reserved CSV column names.
+STREAM_COLUMN = "stream"
+TS_COLUMN = "ts"
+
+
+def save_trace(trace: Iterable[TraceRecord], path: str | Path) -> int:
+    """Write *trace* to *path* as CSV.  Returns the record count.
+
+    Columns are ``stream``, ``ts``, then the sorted union of all row
+    fields; rows missing a field leave it empty.
+    """
+    records = list(trace)
+    fields: set[str] = set()
+    for __, row, __ts in records:
+        if STREAM_COLUMN in row or TS_COLUMN in row:
+            raise EslSemanticError(
+                f"row fields may not be named {STREAM_COLUMN!r} or {TS_COLUMN!r}"
+            )
+        fields.update(row)
+    header = [STREAM_COLUMN, TS_COLUMN, *sorted(fields)]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for stream, row, ts in records:
+            writer.writerow(
+                [stream, repr(ts) if isinstance(ts, float) else ts]
+                + [_cell(row.get(field)) for field in sorted(fields)]
+            )
+    return len(records)
+
+
+def _cell(value: Any) -> Any:
+    return "" if value is None else value
+
+
+def load_trace(
+    path: str | Path, engine: Engine | None = None
+) -> list[TraceRecord]:
+    """Read a CSV trace written by :func:`save_trace`.
+
+    With *engine* given, each row is coerced against the declared schema of
+    its stream (unknown streams raise); without it, all values stay
+    strings except ``ts``.
+    """
+    records: list[TraceRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or STREAM_COLUMN not in reader.fieldnames:
+            raise EslSemanticError(f"{path}: not a trace file (no stream column)")
+        field_names = [
+            name for name in reader.fieldnames
+            if name not in (STREAM_COLUMN, TS_COLUMN)
+        ]
+        for line in reader:
+            stream_name = line[STREAM_COLUMN]
+            ts = float(line[TS_COLUMN])
+            row: dict[str, Any] = {}
+            if engine is not None:
+                schema = engine.streams.get(stream_name).schema
+                for name in field_names:
+                    if name not in schema:
+                        continue
+                    raw = line.get(name, "")
+                    value = None if raw == "" else raw
+                    position = schema.position(name)
+                    row[name] = schema.fields[position].type.coerce(value)
+            else:
+                for name in field_names:
+                    raw = line.get(name, "")
+                    row[name] = None if raw == "" else raw
+            records.append((stream_name, row, ts))
+    records.sort(key=lambda record: record[2])
+    return records
+
+
+def replay(
+    engine: Engine,
+    trace: Iterable[TraceRecord],
+    time_scale: float = 1.0,
+    offset: float = 0.0,
+) -> int:
+    """Feed *trace* into *engine*, rescaling timestamps.
+
+    ``time_scale=0.1`` compresses a 10-minute capture into one virtual
+    minute; ``offset`` shifts the epoch (useful when appending a second
+    capture after a first).  Returns the number of tuples pushed.
+    """
+    if time_scale <= 0:
+        raise EslSemanticError("time_scale must be positive")
+    count = 0
+    for stream, row, ts in trace:
+        engine.push(stream, row, ts=offset + ts * time_scale)
+        count += 1
+    return count
+
+
+def iter_stream(
+    trace: Iterable[TraceRecord], stream: str
+) -> Iterator[TraceRecord]:
+    """Yield only the records of one stream (case-insensitive)."""
+    wanted = stream.lower()
+    for record in trace:
+        if record[0].lower() == wanted:
+            yield record

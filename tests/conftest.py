@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsms import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh engine per test."""
+    return Engine()
+
+
+@pytest.fixture
+def readings_engine() -> Engine:
+    """An engine with the paper's canonical `readings` stream declared."""
+    eng = Engine()
+    eng.create_stream("readings", "reader_id str, tag_id str, read_time float")
+    return eng
+
+
+@pytest.fixture
+def four_streams_engine() -> Engine:
+    """An engine with the Example 6 quality-check streams C1..C4."""
+    eng = Engine()
+    for name in ("c1", "c2", "c3", "c4"):
+        eng.create_stream(name, "readerid str, tagid str, tagtime float")
+    return eng
+
+
+def push_simple(engine: Engine, stream: str, ts: float, **fields) -> None:
+    """Push a tuple with defaulted fields onto a (tagid, tagtime) stream."""
+    row = {"tagid": "x", "tagtime": ts}
+    row.update(fields)
+    engine.push(stream, row, ts=ts)

@@ -1,0 +1,113 @@
+"""Unit tests for built-in aggregates and the registry."""
+
+import math
+
+import pytest
+
+from repro.dsms.aggregates import AggregateRegistry, BUILTIN_AGGREGATES
+from repro.dsms.errors import UnknownAggregateError
+
+
+def compute(name, values):
+    return BUILTIN_AGGREGATES[name]().compute(values)
+
+
+class TestBuiltins:
+    def test_count_skips_nulls(self):
+        assert compute("count", [1, None, 2]) == 2
+
+    def test_count_star_counts_everything(self):
+        assert compute("count(*)", [1, None, 2]) == 3
+
+    def test_sum(self):
+        assert compute("sum", [1, 2, 3]) == 6
+        assert compute("sum", []) is None
+        assert compute("sum", [None]) is None
+
+    def test_avg(self):
+        assert compute("avg", [2, 4]) == 3.0
+        assert compute("avg", []) is None
+        assert compute("avg", [1, None, 3]) == 2.0
+
+    def test_min_max(self):
+        assert compute("min", [3, 1, 2]) == 1
+        assert compute("max", [3, 1, 2]) == 3
+        assert compute("min", []) is None
+
+    def test_first_last(self):
+        assert compute("first", [5, 6, 7]) == 5
+        assert compute("last", [5, 6, 7]) == 7
+        assert compute("first", []) is None
+        assert compute("last", []) is None
+
+    def test_first_keeps_leading_null(self):
+        # first/last do not skip NULLs: the first value *is* NULL.
+        assert compute("first", [None, 2]) is None
+
+    def test_stddev(self):
+        values = [2, 4, 4, 4, 5, 5, 7, 9]
+        expected = 2.138089935299395  # sample stddev
+        assert math.isclose(compute("stddev", values), expected)
+
+    def test_stddev_needs_two_values(self):
+        assert compute("stddev", [1]) is None
+
+    def test_count_distinct(self):
+        assert compute("count_distinct", [1, 1, 2, 2, 3]) == 3
+
+    def test_median_odd_even(self):
+        assert compute("median", [3, 1, 2]) == 2
+        assert compute("median", [1, 2, 3, 4]) == 2.5
+        assert compute("median", []) is None
+
+
+class TestProtocol:
+    def test_incremental_equals_batch(self):
+        agg = BUILTIN_AGGREGATES["avg"]()
+        state = agg.initialize()
+        for value in [1, 2, 3, 4]:
+            state = agg.iterate(state, value)
+        assert agg.terminate(state) == compute("avg", [1, 2, 3, 4])
+
+    def test_states_are_independent(self):
+        a = BUILTIN_AGGREGATES["count"]()
+        b = BUILTIN_AGGREGATES["count"]()
+        state_a = a.iterate(a.initialize(), 1)
+        state_b = b.initialize()
+        assert a.terminate(state_a) == 1
+        assert b.terminate(state_b) == 0
+
+
+class TestRegistry:
+    def test_create_builtin(self):
+        registry = AggregateRegistry()
+        assert registry.create("count").compute([1, 2]) == 2
+
+    def test_case_insensitive(self):
+        registry = AggregateRegistry()
+        assert registry.create("COUNT").compute([1]) == 1
+
+    def test_unknown_raises(self):
+        registry = AggregateRegistry()
+        with pytest.raises(UnknownAggregateError):
+            registry.create("nope")
+
+    def test_register_custom(self):
+        registry = AggregateRegistry()
+        from repro.dsms.uda import uda_from_callables
+
+        registry.register(
+            "second_smallest",
+            uda_from_callables(
+                "second_smallest",
+                initialize=lambda: [],
+                iterate=lambda s, v: sorted(s + [v])[:2],
+                terminate=lambda s: s[1] if len(s) > 1 else None,
+            ),
+        )
+        assert registry.create("second_smallest").compute([5, 3, 8, 1]) == 3
+
+    def test_contains(self):
+        registry = AggregateRegistry()
+        assert "sum" in registry
+        assert "nope" not in registry

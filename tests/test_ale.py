@@ -1,0 +1,130 @@
+"""Unit tests for the ALE-style event-cycle reporting layer."""
+
+import pytest
+
+from repro.dsms import Engine
+from repro.rfid.ale import EventCycle
+
+
+@pytest.fixture
+def wired(engine):
+    engine.create_stream("readings", "tid str, read_time float")
+    return engine
+
+
+def push(engine, tid, ts):
+    engine.push("readings", {"tid": tid, "read_time": ts}, ts=ts)
+
+
+class TestCycles:
+    def test_cycle_closes_on_time(self, wired):
+        cycle = EventCycle(wired, ["readings"], "tid", duration=10.0)
+        push(wired, "20.1.1", 1.0)
+        push(wired, "20.1.2", 5.0)
+        assert cycle.reports == []
+        wired.advance_time(10.0)
+        assert len(cycle.reports) == 1
+        assert cycle.reports[0].count == 2
+
+    def test_cycles_repeat(self, wired):
+        cycle = EventCycle(wired, ["readings"], "tid", duration=10.0)
+        push(wired, "20.1.1", 1.0)
+        wired.advance_time(10.0)
+        push(wired, "20.1.2", 15.0)
+        wired.advance_time(20.0)
+        assert [r.count for r in cycle.reports] == [1, 1]
+        assert cycle.reports[1].cycle_index == 1
+
+    def test_empty_cycle_still_reports(self, wired):
+        """Active expiration: cycles close even with zero arrivals."""
+        cycle = EventCycle(wired, ["readings"], "tid", duration=10.0)
+        wired.advance_time(35.0)
+        assert [r.count for r in cycle.reports] == [0, 0, 0]
+
+    def test_distinct_tags_counted_once(self, wired):
+        cycle = EventCycle(wired, ["readings"], "tid", duration=10.0)
+        for ts in (1.0, 2.0, 3.0):
+            push(wired, "20.1.1", ts)
+        wired.advance_time(10.0)
+        assert cycle.reports[0].count == 1
+
+    def test_additions_and_deletions(self, wired):
+        cycle = EventCycle(wired, ["readings"], "tid", duration=10.0)
+        push(wired, "20.1.1", 1.0)
+        push(wired, "20.1.2", 2.0)
+        wired.advance_time(10.0)
+        push(wired, "20.1.2", 11.0)
+        push(wired, "20.1.3", 12.0)
+        wired.advance_time(20.0)
+        second = cycle.reports[1]
+        assert second.additions == {"20.1.3"}
+        assert second.deletions == {"20.1.1"}
+        assert second.current == {"20.1.2", "20.1.3"}
+
+    def test_include_patterns(self, wired):
+        cycle = EventCycle(
+            wired, ["readings"], "tid", duration=10.0,
+            include=["20.*.[5000-9999]"],
+        )
+        push(wired, "20.1.6000", 1.0)
+        push(wired, "20.1.10", 2.0)
+        push(wired, "21.1.6000", 3.0)
+        wired.advance_time(10.0)
+        assert cycle.reports[0].current == {"20.1.6000"}
+
+    def test_exclude_patterns_veto(self, wired):
+        cycle = EventCycle(
+            wired, ["readings"], "tid", duration=10.0,
+            include=["20.*.*"], exclude=["20.9.*"],
+        )
+        push(wired, "20.1.1", 1.0)
+        push(wired, "20.9.1", 2.0)
+        wired.advance_time(10.0)
+        assert cycle.reports[0].current == {"20.1.1"}
+
+    def test_group_counts(self, wired):
+        cycle = EventCycle(
+            wired, ["readings"], "tid", duration=10.0,
+            group_by={"low": "20.*.[1-4999]", "high": "20.*.[5000-9999]"},
+        )
+        push(wired, "20.1.100", 1.0)
+        push(wired, "20.1.200", 2.0)
+        push(wired, "20.1.7000", 3.0)
+        wired.advance_time(10.0)
+        assert cycle.reports[0].group_counts == {"low": 2, "high": 1}
+
+    def test_multiple_streams(self, wired):
+        wired.create_stream("readings2", "tid str, read_time float")
+        cycle = EventCycle(
+            wired, ["readings", "readings2"], "tid", duration=10.0
+        )
+        push(wired, "20.1.1", 1.0)
+        wired.push("readings2", {"tid": "20.1.2", "read_time": 2.0}, ts=2.0)
+        wired.advance_time(10.0)
+        assert cycle.reports[0].count == 2
+
+    def test_on_report_callback(self, wired):
+        got = []
+        EventCycle(
+            wired, ["readings"], "tid", duration=5.0, on_report=got.append
+        )
+        push(wired, "20.1.1", 1.0)
+        wired.advance_time(5.0)
+        assert len(got) == 1
+
+    def test_stop_halts_cycles(self, wired):
+        cycle = EventCycle(wired, ["readings"], "tid", duration=10.0)
+        wired.advance_time(10.0)
+        cycle.stop()
+        wired.advance_time(50.0)
+        assert len(cycle.reports) == 1
+
+    def test_bad_duration_rejected(self, wired):
+        with pytest.raises(ValueError):
+            EventCycle(wired, ["readings"], "tid", duration=0.0)
+
+    def test_missing_tag_field_ignored(self, wired):
+        cycle = EventCycle(wired, ["readings"], "bogus_field", duration=10.0)
+        push(wired, "20.1.1", 1.0)
+        wired.advance_time(10.0)
+        assert cycle.reports[0].count == 0

@@ -1,0 +1,248 @@
+"""Unit tests for the semantic analyzer."""
+
+import pytest
+
+from repro.core.language.analyzer import analyze, promote_aggregates
+from repro.core.language.ast_nodes import SelectStatement
+from repro.core.language.parser import AggregateCall, parse_program
+from repro.dsms import Engine
+from repro.dsms.errors import EslSemanticError
+from repro.dsms.expressions import FunctionCall
+
+
+def analyzed(engine, sql):
+    statements = parse_program(sql)
+    assert isinstance(statements[-1], SelectStatement)
+    return analyze(statements[-1], engine)
+
+
+@pytest.fixture
+def eng():
+    engine = Engine()
+    for name in ("c1", "c2", "c3", "c4", "r1", "r2"):
+        engine.create_stream(name, "readerid str, tagid str, tagtime float")
+    engine.create_table("ctx", "tagid str, owner str")
+    return engine
+
+
+class TestSources:
+    def test_stream_resolution(self, eng):
+        analysis = analyzed(eng, "SELECT tagid FROM c1")
+        assert analysis.sources[0].is_stream
+
+    def test_table_resolution(self, eng):
+        analysis = analyzed(eng, "SELECT owner FROM ctx")
+        assert analysis.sources[0].is_table
+        assert analysis.kind == "table_query"
+
+    def test_unknown_source(self, eng):
+        with pytest.raises(EslSemanticError):
+            analyzed(eng, "SELECT a FROM nope")
+
+    def test_duplicate_alias(self, eng):
+        with pytest.raises(EslSemanticError):
+            analyzed(eng, "SELECT a FROM c1 AS x, c2 AS x")
+
+    def test_multi_stream_without_temporal_rejected(self, eng):
+        with pytest.raises(EslSemanticError, match="temporal"):
+            analyzed(eng, "SELECT a FROM c1, c2")
+
+    def test_source_for_lookup(self, eng):
+        analysis = analyzed(eng, "SELECT tagid FROM c1 AS x")
+        assert analysis.source_for("X").name == "c1"
+        with pytest.raises(EslSemanticError):
+            analysis.source_for("zz")
+
+
+class TestKinds:
+    def test_filter(self, eng):
+        assert analyzed(eng, "SELECT tagid FROM c1").kind == "filter"
+
+    def test_aggregate_by_function(self, eng):
+        assert analyzed(eng, "SELECT count(tagid) FROM c1").kind == "aggregate"
+
+    def test_aggregate_by_group(self, eng):
+        analysis = analyzed(
+            eng, "SELECT tagid, count(tagid) FROM c1 GROUP BY tagid"
+        )
+        assert analysis.kind == "aggregate"
+
+    def test_temporal(self, eng):
+        analysis = analyzed(eng, "SELECT tagid FROM c1, c2 WHERE SEQ(C1, C2)")
+        assert analysis.kind == "temporal"
+        assert analysis.temporal is not None
+
+
+class TestWhereClassification:
+    def test_guard_terms_collected(self, eng):
+        analysis = analyzed(
+            eng,
+            "SELECT tagid FROM c1, c2 WHERE SEQ(C1, C2) "
+            "AND c1.tagid = c2.tagid AND c1.tagtime > 5",
+        )
+        # The tagid equality is hoisted into partitioning; the scalar
+        # comparison stays in the guard.
+        assert len(analysis.guard_terms) == 1
+        assert analysis.partition_field == "tagid"
+
+    def test_gap_terms_split_out(self, eng):
+        analysis = analyzed(
+            eng,
+            "SELECT tagid FROM r1, r2 WHERE SEQ(R1*, R2) "
+            "AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS",
+        )
+        assert len(analysis.gap_terms) == 1
+        assert len(analysis.guard_terms) == 0
+
+    def test_two_temporal_ops_rejected(self, eng):
+        with pytest.raises(EslSemanticError):
+            analyzed(
+                eng,
+                "SELECT tagid FROM c1, c2 WHERE SEQ(C1, C2) AND SEQ(C2, C1)",
+            )
+
+    def test_seq_inside_or_rejected(self, eng):
+        with pytest.raises(EslSemanticError):
+            analyzed(
+                eng,
+                "SELECT tagid FROM c1, c2 "
+                "WHERE SEQ(C1, C2) OR c1.tagid = 'x'",
+            )
+
+    def test_seq_in_comparison_rejected(self, eng):
+        with pytest.raises(EslSemanticError):
+            analyzed(eng, "SELECT a FROM c1, c2 WHERE (SEQ(C1, C2)) = 1")
+
+    def test_clevel_threshold_extracted(self, eng):
+        analysis = analyzed(
+            eng,
+            "SELECT tagid FROM c1, c2 WHERE (CLEVEL_SEQ(C1, C2)) < 2",
+        )
+        assert analysis.clevel is not None
+        assert analysis.clevel.accepts(1)
+        assert not analysis.clevel.accepts(2)
+
+    def test_clevel_flipped_comparison(self, eng):
+        analysis = analyzed(
+            eng, "SELECT tagid FROM c1, c2 WHERE 2 > (CLEVEL_SEQ(C1, C2))"
+        )
+        assert analysis.clevel.accepts(1)
+        assert not analysis.clevel.accepts(3)
+
+    def test_clevel_requires_literal(self, eng):
+        with pytest.raises(EslSemanticError):
+            analyzed(
+                eng,
+                "SELECT tagid FROM c1, c2 "
+                "WHERE (CLEVEL_SEQ(C1, C2)) < c1.tagtime",
+            )
+
+    def test_exists_terms_extracted(self, eng):
+        analysis = analyzed(
+            eng,
+            "SELECT tagid FROM c1 WHERE NOT EXISTS "
+            "(SELECT owner FROM ctx WHERE ctx.tagid = c1.tagid)",
+        )
+        assert len(analysis.exists_terms) == 1
+        assert analysis.exists_terms[0].negate
+
+    def test_not_wrapped_exists_normalized(self, eng):
+        analysis = analyzed(
+            eng,
+            "SELECT tagid FROM c1 WHERE NOT (EXISTS "
+            "(SELECT owner FROM ctx))",
+        )
+        assert len(analysis.exists_terms) == 1
+        assert analysis.exists_terms[0].negate
+
+
+class TestPartitionHoisting:
+    def test_full_chain_hoisted(self, eng):
+        analysis = analyzed(
+            eng,
+            "SELECT a FROM c1, c2, c3, c4 WHERE SEQ(C1, C2, C3, C4) "
+            "AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid",
+        )
+        assert analysis.partition_field == "tagid"
+
+    def test_partial_chain_not_hoisted(self, eng):
+        analysis = analyzed(
+            eng,
+            "SELECT a FROM c1, c2, c3 WHERE SEQ(C1, C2, C3) "
+            "AND C1.tagid=C2.tagid",
+        )
+        assert analysis.partition_field is None
+
+    def test_mixed_fields_not_hoisted(self, eng):
+        analysis = analyzed(
+            eng,
+            "SELECT a FROM c1, c2 WHERE SEQ(C1, C2) "
+            "AND C1.tagid = C2.readerid",
+        )
+        assert analysis.partition_field is None
+
+    def test_hoisted_terms_removed_from_guard(self, eng):
+        # Partitioning by tagid makes the equality tautological within a
+        # partition, so it is dropped — enabling the RECENT purge.
+        analysis = analyzed(
+            eng,
+            "SELECT a FROM c1, c2 WHERE SEQ(C1, C2) AND C1.tagid = C2.tagid",
+        )
+        assert analysis.partition_field == "tagid"
+        assert analysis.guard_terms == []
+
+
+class TestMultiReturn:
+    def test_direct_star_column_triggers(self, eng):
+        analysis = analyzed(
+            eng,
+            "SELECT R1.tagid, R2.tagid FROM r1, r2 WHERE SEQ(R1*, R2)",
+        )
+        assert analysis.multi_return_alias == "r1"
+
+    def test_aggregate_only_does_not_trigger(self, eng):
+        analysis = analyzed(
+            eng,
+            "SELECT FIRST(R1*).tagid, COUNT(R1*) FROM r1, r2 "
+            "WHERE SEQ(R1*, R2)",
+        )
+        assert analysis.multi_return_alias is None
+
+    def test_two_starred_aliases_referenced_rejected(self, eng):
+        with pytest.raises(EslSemanticError, match="footnote 4"):
+            analyzed(
+                eng,
+                "SELECT R1.tagid, C1X.tagid FROM r1, c1 AS c1x, r2 "
+                "WHERE SEQ(R1*, C1X*, R2)"
+            )
+
+
+class TestAggregatePromotion:
+    def test_function_call_promoted(self, eng):
+        promoted = promote_aggregates(
+            FunctionCall("count", [FunctionCall("upper", [])]), eng
+        )
+        assert isinstance(promoted, AggregateCall)
+
+    def test_scalar_not_promoted(self, eng):
+        promoted = promote_aggregates(FunctionCall("upper", []), eng)
+        assert isinstance(promoted, FunctionCall)
+
+    def test_multiarg_not_promoted(self, eng):
+        from repro.dsms.expressions import Literal
+
+        promoted = promote_aggregates(
+            FunctionCall("count", [Literal(1), Literal(2)]), eng
+        )
+        assert isinstance(promoted, FunctionCall)
+
+    def test_uda_promoted(self, eng):
+        from repro.dsms import uda_from_callables
+
+        eng.register_uda(
+            "myagg",
+            uda_from_callables("myagg", lambda: 0, lambda s, v: s + 1,
+                               lambda s: s),
+        )
+        analysis = analyzed(eng, "SELECT myagg(tagid) FROM c1")
+        assert analysis.has_aggregates

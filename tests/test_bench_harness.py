@@ -1,0 +1,99 @@
+"""Unit tests for the benchmark harness (tables, timing, metrics)."""
+
+import time
+
+import pytest
+
+from repro.bench import (
+    Accuracy,
+    ResultTable,
+    Timed,
+    containment_accuracy,
+    summarize_rows,
+    sweep,
+    throughput,
+)
+
+
+class TestResultTable:
+    def test_render_aligns_columns(self):
+        table = ResultTable("demo", ["name", "value"])
+        table.add("short", 1)
+        table.add("a-much-longer-name", 22222)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        header, rule, *rows = lines[1:]
+        assert len(set(len(line) for line in [header, rule])) == 1
+        assert rows[0].startswith("short")
+
+    def test_arity_checked(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_float_formatting(self):
+        table = ResultTable("t", ["v"])
+        table.add(0.0)
+        table.add(0.1234567)
+        table.add(3.14159)
+        table.add(123456.0)
+        cells = [row[0] for row in table.rows]
+        assert cells == ["0", "0.1235", "3.14", "123,456"]
+
+    def test_bool_formatting(self):
+        table = ResultTable("t", ["ok"])
+        table.add(True)
+        table.add(False)
+        assert [row[0] for row in table.rows] == ["yes", "no"]
+
+    def test_print(self, capsys):
+        table = ResultTable("t", ["a"])
+        table.add(1)
+        table.print()
+        assert "== t ==" in capsys.readouterr().out
+
+    def test_sweep_populates(self):
+        table = ResultTable("t", ["x", "double"])
+        sweep([1, 2, 3], lambda x: (x, 2 * x), table)
+        assert len(table.rows) == 3
+
+
+class TestTimedAndMetrics:
+    def test_timed_measures(self):
+        with Timed() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.009
+
+    def test_throughput(self):
+        assert throughput(100, 2.0) == 50.0
+        assert throughput(100, 0.0) == 0.0
+
+    def test_accuracy_from_sets(self):
+        accuracy = Accuracy.from_sets({"a", "b", "x"}, {"a", "b", "c"})
+        assert accuracy.tp == 2 and accuracy.fp == 1 and accuracy.fn == 1
+        assert accuracy.precision == pytest.approx(2 / 3)
+        assert accuracy.recall == pytest.approx(2 / 3)
+        assert not accuracy.exact
+
+    def test_accuracy_empty_sets(self):
+        accuracy = Accuracy.from_sets(set(), set())
+        assert accuracy.precision == 1.0
+        assert accuracy.recall == 1.0
+        assert accuracy.f1 == 2.0 * 1 * 1 / 2
+        assert accuracy.exact
+
+    def test_f1_zero_when_nothing_right(self):
+        accuracy = Accuracy.from_sets({"x"}, {"y"})
+        assert accuracy.f1 == 0.0
+
+    def test_containment_accuracy_requires_full_sets(self):
+        detected = [("case1", ["p1", "p2"]), ("case2", ["p3"])]
+        truth = {"case1": ["p1", "p2"], "case2": ["p3", "p4"]}
+        accuracy = containment_accuracy(detected, truth)
+        assert accuracy.tp == 1  # case2's item set differs
+        assert accuracy.fp == 1 and accuracy.fn == 1
+
+    def test_summarize_rows(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        assert summarize_rows(rows, ["a", "b"]) == [(1, 2), (3, None)]

@@ -1,0 +1,155 @@
+"""Unit tests for the engine: catalogs, time discipline, trace feeding."""
+
+import pytest
+
+from repro.dsms import Engine
+from repro.dsms.errors import (
+    ClockError,
+    EslSemanticError,
+    UnknownStreamError,
+)
+
+
+class TestCatalogs:
+    def test_create_stream_and_table(self, engine):
+        engine.create_stream("s", "a int")
+        engine.create_table("t", "b str")
+        assert engine.stream("s").name == "s"
+        assert engine.table("t").name == "t"
+
+    def test_unknown_stream(self, engine):
+        with pytest.raises(UnknownStreamError):
+            engine.stream("nope")
+
+    def test_register_udf(self, engine):
+        engine.register_udf("plus1", lambda v: v + 1)
+        assert engine.functions.get("plus1")(1) == 2
+
+    def test_register_uda(self, engine):
+        from repro.dsms import uda_from_callables
+
+        engine.register_uda(
+            "always42",
+            uda_from_callables("always42", lambda: None, lambda s, v: s,
+                               lambda s: 42),
+        )
+        assert engine.aggregates.create("always42").compute([1]) == 42
+
+
+class TestTimeDiscipline:
+    def test_push_advances_clock(self, engine):
+        engine.create_stream("s", "a")
+        engine.push("s", {"a": 1}, ts=5.0)
+        assert engine.now == 5.0
+
+    def test_push_backwards_rejected(self, engine):
+        engine.create_stream("s", "a")
+        engine.push("s", {"a": 1}, ts=5.0)
+        with pytest.raises(ClockError):
+            engine.push("s", {"a": 2}, ts=4.0)
+
+    def test_timers_fire_before_later_tuple_is_seen(self, engine):
+        engine.create_stream("s", "a")
+        order = []
+        engine.stream("s").subscribe(lambda t: order.append(("tuple", t.ts)))
+        engine.clock.schedule(10.0, lambda t: order.append(("timer", t)))
+        engine.push("s", {"a": 1}, ts=5.0)
+        engine.push("s", {"a": 2}, ts=15.0)
+        assert order == [("tuple", 5.0), ("timer", 10.0), ("tuple", 15.0)]
+
+    def test_advance_time_heartbeat(self, engine):
+        fired = []
+        engine.clock.schedule(10.0, fired.append)
+        assert engine.advance_time(20.0) == 1
+        assert fired == [10.0]
+
+    def test_positional_push(self, engine):
+        engine.create_stream("s", "a, b")
+        got = engine.collect("s")
+        engine.push("s", [1, 2], ts=0.0)
+        assert got.rows() == [{"a": 1, "b": 2}]
+
+
+class TestTraces:
+    def test_run_trace(self, engine):
+        engine.create_stream("s", "a")
+        got = engine.collect("s")
+        count = engine.run_trace([
+            ("s", {"a": 1}, 1.0),
+            ("s", {"a": 2}, 2.0),
+        ])
+        assert count == 2
+        assert [r["a"] for r in got.rows()] == [1, 2]
+
+    def test_flush_fires_remaining_timers(self, engine):
+        fired = []
+        engine.clock.schedule(1000.0, fired.append)
+        engine.flush()
+        assert fired == [1000.0]
+
+
+class TestCollector:
+    def test_attach_detach(self, engine):
+        engine.create_stream("s", "a")
+        collector = engine.collect("s")
+        engine.push("s", {"a": 1}, ts=0.0)
+        collector.detach()
+        engine.push("s", {"a": 2}, ts=1.0)
+        assert len(collector) == 1
+
+    def test_clear(self, engine):
+        engine.create_stream("s", "a")
+        collector = engine.collect("s")
+        engine.push("s", {"a": 1}, ts=0.0)
+        collector.clear()
+        assert len(collector) == 0
+
+    def test_iteration(self, engine):
+        engine.create_stream("s", "a")
+        collector = engine.collect("s")
+        engine.push("s", {"a": 1}, ts=0.0)
+        assert [t["a"] for t in collector] == [1]
+
+
+class TestQueryHandles:
+    def test_results_requires_collector(self, engine):
+        engine.create_stream("src", "a")
+        engine.create_stream("dst", "a")
+        handle = engine.query("INSERT INTO dst SELECT a FROM src")
+        with pytest.raises(EslSemanticError):
+            handle.results
+
+    def test_stop_detaches(self, engine):
+        engine.create_stream("src", "a")
+        handle = engine.query("SELECT a FROM src")
+        engine.push("src", {"a": 1}, ts=0.0)
+        handle.stop()
+        engine.push("src", {"a": 2}, ts=1.0)
+        assert len(handle.results) == 1
+
+    def test_stop_idempotent(self, engine):
+        engine.create_stream("src", "a")
+        handle = engine.query("SELECT a FROM src")
+        handle.stop()
+        handle.stop()
+        assert handle.stopped
+
+    def test_stop_all(self, engine):
+        engine.create_stream("src", "a")
+        first = engine.query("SELECT a FROM src")
+        second = engine.query("SELECT a FROM src")
+        engine.stop_all()
+        assert first.stopped and second.stopped
+
+    def test_clear_results(self, engine):
+        engine.create_stream("src", "a")
+        handle = engine.query("SELECT a FROM src")
+        engine.push("src", {"a": 1}, ts=0.0)
+        handle.clear()
+        assert handle.rows() == []
+
+    def test_query_names_autogenerate(self, engine):
+        engine.create_stream("src", "a")
+        first = engine.query("SELECT a FROM src")
+        second = engine.query("SELECT a FROM src")
+        assert first.name != second.name

@@ -1,0 +1,181 @@
+"""Unit tests for the EPC substrate: codes and ALE patterns."""
+
+import random
+
+import pytest
+
+from repro.dsms.errors import EpcFormatError
+from repro.epc import (
+    EpcCode,
+    EpcPattern,
+    generate_epcs,
+    is_valid_epc,
+    pattern_to_sql,
+)
+
+
+class TestEpcCode:
+    def test_parse_and_str_roundtrip(self):
+        code = EpcCode.parse("20.17.5001")
+        assert (code.company, code.product, code.serial) == (20, 17, 5001)
+        assert str(code) == "20.17.5001"
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(EpcFormatError):
+            EpcCode.parse("20.17")
+        with pytest.raises(EpcFormatError):
+            EpcCode.parse("20.17.1.2")
+
+    def test_parse_rejects_non_integer(self):
+        with pytest.raises(EpcFormatError):
+            EpcCode.parse("20.xx.5001")
+
+    def test_range_validation(self):
+        with pytest.raises(EpcFormatError):
+            EpcCode(-1, 0, 0)
+        with pytest.raises(EpcFormatError):
+            EpcCode(0, 1 << 24, 0)
+        with pytest.raises(EpcFormatError):
+            EpcCode(0, 0, 1 << 36)
+
+    def test_gid96_roundtrip(self):
+        code = EpcCode(20, 17, 5001)
+        assert EpcCode.from_gid96(code.to_gid96()) == code
+
+    def test_gid96_header(self):
+        value = EpcCode(1, 2, 3).to_gid96()
+        assert value >> 88 == 0x35
+
+    def test_gid96_rejects_wrong_header(self):
+        with pytest.raises(EpcFormatError):
+            EpcCode.from_gid96(0x36 << 88)
+
+    def test_gid96_rejects_out_of_range(self):
+        with pytest.raises(EpcFormatError):
+            EpcCode.from_gid96(1 << 96)
+
+    def test_uri_roundtrip(self):
+        code = EpcCode(20, 17, 5001)
+        assert code.to_uri() == "urn:epc:id:gid:20.17.5001"
+        assert EpcCode.from_uri(code.to_uri()) == code
+
+    def test_uri_rejects_other_schemes(self):
+        with pytest.raises(EpcFormatError):
+            EpcCode.from_uri("urn:epc:id:sgtin:123")
+
+    def test_hash_and_ordering(self):
+        a, b = EpcCode(1, 1, 1), EpcCode(1, 1, 2)
+        assert a < b
+        assert len({a, b, EpcCode(1, 1, 1)}) == 2
+
+    def test_is_valid_epc(self):
+        assert is_valid_epc("20.1.1")
+        assert not is_valid_epc("garbage")
+        assert not is_valid_epc("20.1")
+
+
+class TestGeneration:
+    def test_count(self):
+        assert len(list(generate_epcs(10))) == 10
+
+    def test_unique_by_default(self):
+        codes = list(generate_epcs(200, serial=(1, 100000)))
+        assert len(set(codes)) == 200
+
+    def test_fixed_company(self):
+        codes = list(generate_epcs(20, company=42))
+        assert all(c.company == 42 for c in codes)
+
+    def test_company_range(self):
+        codes = list(generate_epcs(50, company=(5, 6)))
+        assert {c.company for c in codes} <= {5, 6}
+
+    def test_deterministic_with_seeded_rng(self):
+        a = list(generate_epcs(10, rng=random.Random(1)))
+        b = list(generate_epcs(10, rng=random.Random(1)))
+        assert a == b
+
+    def test_too_small_space_raises(self):
+        with pytest.raises(EpcFormatError):
+            list(generate_epcs(50, company=1, product=1, serial=(1, 10)))
+
+
+class TestEpcPattern:
+    def test_paper_pattern(self):
+        pattern = EpcPattern("20.*.[5000-9999]")
+        assert pattern.matches("20.17.5000")
+        assert pattern.matches("20.1.9999")
+        assert not pattern.matches("20.1.4999")
+        assert not pattern.matches("21.1.5001")
+
+    def test_literal_segments(self):
+        pattern = EpcPattern("20.17.5001")
+        assert pattern.matches(EpcCode(20, 17, 5001))
+        assert not pattern.matches(EpcCode(20, 17, 5002))
+
+    def test_all_stars(self):
+        assert EpcPattern("*.*.*").matches("1.2.3")
+
+    def test_malformed_epc_never_matches(self):
+        assert not EpcPattern("*.*.*").matches("garbage")
+
+    def test_bad_segment_count(self):
+        with pytest.raises(EpcFormatError):
+            EpcPattern("20.*")
+
+    def test_bad_range(self):
+        with pytest.raises(EpcFormatError):
+            EpcPattern("20.*.[9-5]")
+        with pytest.raises(EpcFormatError):
+            EpcPattern("20.*.[5..9]")
+        with pytest.raises(EpcFormatError):
+            EpcPattern("20.*.[abc]")
+
+    def test_non_integer_literal(self):
+        with pytest.raises(EpcFormatError):
+            EpcPattern("xx.*.*")
+
+    def test_filter(self):
+        pattern = EpcPattern("20.*.*")
+        kept = list(pattern.filter(["20.1.1", "21.1.1", "20.2.2"]))
+        assert kept == ["20.1.1", "20.2.2"]
+
+    def test_equality(self):
+        assert EpcPattern("20.*.*") == EpcPattern("20.*.*")
+        assert EpcPattern("20.*.*") != EpcPattern("21.*.*")
+
+
+class TestPatternToSql:
+    def test_paper_translation(self):
+        sql = pattern_to_sql("20.*.[5000-9999]")
+        assert "tid LIKE '20.%.%'" in sql
+        assert "extract_serial(tid) >= 5000" in sql
+        assert "extract_serial(tid) <= 9999" in sql
+
+    def test_custom_column(self):
+        assert "tag LIKE" in pattern_to_sql("20.*.*", column="tag")
+
+    def test_sql_agrees_with_matcher(self):
+        """The LIKE + extract translation must accept the same EPCs."""
+        from repro.dsms import Engine
+
+        pattern = EpcPattern("20.*.[5000-9999]")
+        engine = Engine()
+        engine.create_stream("readings", "tid str")
+        handle = engine.query(
+            f"SELECT tid FROM readings WHERE {pattern_to_sql(pattern)}"
+        )
+        rng = random.Random(3)
+        epcs = [
+            f"{rng.choice([20, 21])}.{rng.randint(1, 5)}.{rng.randint(1, 12000)}"
+            for __ in range(300)
+        ]
+        for index, epc in enumerate(epcs):
+            engine.push("readings", {"tid": epc}, ts=float(index))
+        sql_matches = {row["tid"] for row in handle.rows()}
+        direct_matches = {epc for epc in epcs if pattern.matches(epc)}
+        assert sql_matches == direct_matches
+
+    def test_range_on_company_uses_to_int(self):
+        sql = pattern_to_sql("[10-30].*.*")
+        assert "to_int(extract_company(tid)) >= 10" in sql

@@ -1,0 +1,114 @@
+"""Unit tests for the built-in scalar functions."""
+
+import pytest
+
+from repro.dsms.functions import BUILTINS, default_functions
+
+
+def call(name, *args):
+    return BUILTINS[name](*args)
+
+
+class TestStringFunctions:
+    def test_upper_lower(self):
+        assert call("upper", "abc") == "ABC"
+        assert call("lower", "ABC") == "abc"
+
+    def test_length(self):
+        assert call("length", "hello") == 5
+
+    def test_substr_one_based(self):
+        assert call("substr", "hello", 2, 3) == "ell"
+        assert call("substr", "hello", 2) == "ello"
+
+    def test_substr_clamps_start(self):
+        assert call("substr", "hello", 0) == "hello"
+
+    def test_trim(self):
+        assert call("trim", "  x  ") == "x"
+
+    def test_concat(self):
+        assert call("concat", "a", 1, "b") == "a1b"
+
+    def test_instr_one_based_zero_absent(self):
+        assert call("instr", "hello", "ll") == 3
+        assert call("instr", "hello", "zz") == 0
+
+    def test_replace(self):
+        assert call("replace", "a.b.c", ".", "-") == "a-b-c"
+
+    def test_split_part(self):
+        assert call("split_part", "20.17.5001", ".", 1) == "20"
+        assert call("split_part", "20.17.5001", ".", 3) == "5001"
+        assert call("split_part", "20.17.5001", ".", 9) is None
+
+
+class TestNumericFunctions:
+    def test_abs(self):
+        assert call("abs", -4) == 4
+
+    def test_round(self):
+        assert call("round", 2.567, 1) == 2.6
+        assert call("round", 2.5678) == 3
+
+    def test_floor_ceil(self):
+        assert call("floor", 2.9) == 2
+        assert call("ceil", 2.1) == 3
+
+    def test_mod(self):
+        assert call("mod", 7, 3) == 1
+        assert call("mod", 7, 0) is None
+
+    def test_power_sqrt(self):
+        assert call("power", 2, 10) == 1024.0
+        assert call("sqrt", 9) == 3.0
+
+    def test_casts(self):
+        assert call("to_int", "42") == 42
+        assert call("to_int", "4.9") == 4
+        assert call("to_float", "2.5") == 2.5
+        assert call("to_str", 42) == "42"
+
+
+class TestNullHandling:
+    @pytest.mark.parametrize("name", ["upper", "length", "abs", "to_int"])
+    def test_null_propagation(self, name):
+        assert call(name, None) is None
+
+    def test_coalesce(self):
+        assert call("coalesce", None, None, 3, 4) == 3
+        assert call("coalesce", None, None) is None
+
+    def test_ifnull(self):
+        assert call("ifnull", None, "d") == "d"
+        assert call("ifnull", "v", "d") == "v"
+
+
+class TestEpcHelpers:
+    def test_extract_serial(self):
+        assert call("extract_serial", "20.17.5001") == 5001
+
+    def test_extract_serial_malformed(self):
+        assert call("extract_serial", "garbage") is None
+        assert call("extract_serial", "20.17.xyz") is None
+        assert call("extract_serial", None) is None
+
+    def test_extract_company(self):
+        assert call("extract_company", "20.17.5001") == "20"
+        assert call("extract_company", "") is None
+
+    def test_extract_product(self):
+        assert call("extract_product", "20.17.5001") == "17"
+        assert call("extract_product", "20") is None
+
+
+class TestRegistryCopy:
+    def test_default_functions_is_a_copy(self):
+        fns = default_functions()
+        fns["upper"] = lambda v: "patched"
+        assert BUILTINS["upper"]("x") == "X"  # original untouched
+
+    def test_paper_example3_aliases_present(self):
+        fns = default_functions()
+        assert "extract_serial" in fns
+        assert "substring" in fns and "ceiling" in fns

@@ -1,0 +1,258 @@
+"""Integration tests: temporal queries through the full language stack."""
+
+import pytest
+
+from repro.dsms import Engine
+from repro.dsms.errors import EslSemanticError
+
+
+@pytest.fixture
+def quality(four_streams_engine):
+    return four_streams_engine
+
+
+def feed(engine, trace):
+    for stream, tag, ts in trace:
+        engine.push(
+            stream, {"readerid": stream, "tagid": tag, "tagtime": ts}, ts=ts
+        )
+
+
+GOOD_RUN = [
+    ("c1", "a", 1.0), ("c2", "a", 2.0), ("c3", "a", 3.0), ("c4", "a", 4.0),
+]
+
+
+class TestSeqQueries:
+    def test_plain_seq(self, quality):
+        handle = quality.query(
+            "SELECT C1.tagid FROM c1, c2, c3, c4 WHERE SEQ(C1, C2, C3, C4)"
+        )
+        feed(quality, GOOD_RUN)
+        assert handle.rows() == [{"tagid": "a"}]
+
+    def test_mode_clause(self, quality):
+        handle = quality.query(
+            "SELECT C1.tagtime, C4.tagtime FROM c1, c2, c3, c4 "
+            "WHERE SEQ(C1, C2, C3, C4) MODE RECENT"
+        )
+        feed(quality, GOOD_RUN)
+        assert len(handle.rows()) == 1
+
+    def test_partition_hoisting_used(self, quality):
+        handle = quality.query(
+            "SELECT C1.tagid FROM c1, c2, c3, c4 "
+            "WHERE SEQ(C1, C2, C3, C4) MODE RECENT "
+            "AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid"
+        )
+        operator = handle.operator
+        assert operator.partition_by is not None
+        # Interleave two products; each completes independently.
+        feed(quality, [
+            ("c1", "a", 1.0), ("c1", "b", 2.0),
+            ("c2", "a", 3.0), ("c2", "b", 4.0),
+            ("c3", "a", 5.0), ("c3", "b", 6.0),
+            ("c4", "a", 7.0), ("c4", "b", 8.0),
+        ])
+        assert sorted(r["tagid"] for r in handle.rows()) == ["a", "b"]
+
+    def test_join_conditions_filter_mismatches(self, quality):
+        handle = quality.query(
+            "SELECT C1.tagid FROM c1, c2, c3, c4 WHERE SEQ(C1, C2, C3, C4) "
+            "AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid"
+        )
+        feed(quality, [
+            ("c1", "a", 1.0), ("c2", "b", 2.0), ("c3", "a", 3.0),
+            ("c4", "a", 4.0),
+        ])
+        assert handle.rows() == []
+
+    def test_operator_window_via_sql(self, quality):
+        handle = quality.query(
+            "SELECT C1.tagid FROM c1, c2, c3, c4 "
+            "WHERE SEQ(C1, C2, C3, C4) OVER [30 MINUTES PRECEDING C4]"
+        )
+        feed(quality, [
+            ("c1", "a", 0.0), ("c2", "a", 100.0), ("c3", "a", 200.0),
+            ("c4", "a", 5000.0),  # > 1800s after c1
+        ])
+        assert handle.rows() == []
+
+    def test_unknown_window_anchor_rejected(self, quality):
+        with pytest.raises(EslSemanticError):
+            quality.query(
+                "SELECT C1.tagid FROM c1, c2 WHERE SEQ(C1, C2) "
+                "OVER [5 SECONDS PRECEDING C9]"
+            )
+
+    def test_bad_mode_rejected(self, quality):
+        with pytest.raises(EslSemanticError):
+            quality.query(
+                "SELECT C1.tagid FROM c1, c2 WHERE SEQ(C1, C2) MODE BOGUS"
+            )
+
+    def test_insert_into_derived_stream(self, quality):
+        quality.query(
+            "INSERT INTO done SELECT C1.tagid, C4.tagtime "
+            "FROM c1, c2, c3, c4 WHERE SEQ(C1, C2, C3, C4)"
+        )
+        got = quality.collect("done")
+        feed(quality, GOOD_RUN)
+        assert got.rows() == [{"tagid": "a", "tagtime": 4.0}]
+
+    def test_select_star_flattens_aliases(self, quality):
+        handle = quality.query(
+            "SELECT * FROM c1, c4 WHERE SEQ(C1, C4)"
+        )
+        feed(quality, [("c1", "a", 1.0), ("c4", "a", 2.0)])
+        row = handle.rows()[0]
+        assert row["C1_tagid"] == "a"  # alias case from the query text
+        assert row["C4_tagtime"] == 2.0
+
+
+class TestStarQueries:
+    @pytest.fixture
+    def packing(self, engine):
+        engine.create_stream("r1", "readerid str, tagid str, tagtime float")
+        engine.create_stream("r2", "readerid str, tagid str, tagtime float")
+        return engine
+
+    def feed_case(self, engine, product_times, case_time):
+        for ts in product_times:
+            engine.push(
+                "r1", {"readerid": "r1", "tagid": f"p{ts:g}", "tagtime": ts},
+                ts=ts,
+            )
+        engine.push(
+            "r2", {"readerid": "r2", "tagid": "case", "tagtime": case_time},
+            ts=case_time,
+        )
+
+    def test_star_aggregates_in_select(self, packing):
+        handle = packing.query(
+            "SELECT FIRST(R1*).tagtime AS first_t, COUNT(R1*) AS n, "
+            "LAST(R1*).tagtime AS last_t, R2.tagid FROM r1, r2 "
+            "WHERE SEQ(R1*, R2) MODE CHRONICLE"
+        )
+        self.feed_case(packing, [1.0, 1.5, 2.0], 3.0)
+        assert handle.rows() == [
+            {"first_t": 1.0, "n": 3, "last_t": 2.0, "tagid": "case"}
+        ]
+
+    def test_gap_constraint_hoisted(self, packing):
+        handle = packing.query(
+            "SELECT COUNT(R1*) AS n FROM r1, r2 WHERE SEQ(R1*, R2) "
+            "MODE CHRONICLE "
+            "AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS"
+        )
+        assert handle.operator.args[0].gap_check is not None
+        self.feed_case(packing, [0.0, 0.5, 3.0], 3.5)  # gap splits the runs
+        # CHRONICLE matches the earliest run [0.0, 0.5] (the gap constraint
+        # kept 3.0 out of it), so the count is 2, not 3.
+        assert handle.rows()[0]["n"] == 2
+
+    def test_last_constraint_checked(self, packing):
+        handle = packing.query(
+            "SELECT COUNT(R1*) AS n FROM r1, r2 WHERE SEQ(R1*, R2) "
+            "MODE CHRONICLE AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS"
+        )
+        self.feed_case(packing, [0.0], 100.0)  # far too late
+        assert handle.rows() == []
+
+    def test_multi_return_rows(self, packing):
+        handle = packing.query(
+            "SELECT R1.tagid, R2.tagid FROM r1, r2 "
+            "WHERE SEQ(R1*, R2) MODE CHRONICLE"
+        )
+        self.feed_case(packing, [1.0, 2.0], 3.0)
+        assert [r["tagid"] for r in handle.rows()] == ["p1", "p2"]
+        assert all(r["tagid_2"] == "case" for r in handle.rows())
+
+    def test_gap_on_unstarred_arg_rejected(self, packing):
+        with pytest.raises(EslSemanticError):
+            packing.query(
+                "SELECT R2.tagid FROM r1, r2 WHERE SEQ(R1, R2) "
+                "AND R2.tagtime - R2.previous.tagtime <= 1 SECONDS"
+            )
+
+
+class TestExceptionQueries:
+    @pytest.fixture
+    def lab(self, engine):
+        for name in ("a1", "a2", "a3"):
+            engine.create_stream(name, "tagid str, tagtime float")
+        return engine
+
+    def feed(self, engine, trace):
+        for stream, ts in trace:
+            engine.push(stream, {"tagid": "s", "tagtime": ts}, ts=ts)
+
+    def test_exception_seq_wrong_order(self, lab):
+        handle = lab.query(
+            "SELECT A1.tagid, A2.tagid, A3.tagid FROM a1, a2, a3 "
+            "WHERE EXCEPTION_SEQ(A1, A2, A3)"
+        )
+        self.feed(lab, [("a1", 1.0), ("a3", 2.0)])
+        rows = handle.rows()
+        assert len(rows) == 1
+        assert rows[0]["tagid"] == "s"       # A1 bound
+        assert rows[0]["tagid_2"] is None    # A2 never bound -> NULL
+
+    def test_exception_seq_timeout_via_heartbeat(self, lab):
+        handle = lab.query(
+            "SELECT A1.tagid FROM a1, a2, a3 "
+            "WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A1]"
+        )
+        self.feed(lab, [("a1", 0.0), ("a2", 10.0)])
+        assert handle.rows() == []
+        lab.advance_time(4000.0)
+        assert len(handle.rows()) == 1
+
+    def test_completed_sequences_not_reported(self, lab):
+        handle = lab.query(
+            "SELECT A1.tagid FROM a1, a2, a3 WHERE EXCEPTION_SEQ(A1, A2, A3)"
+        )
+        self.feed(lab, [("a1", 1.0), ("a2", 2.0), ("a3", 3.0)])
+        assert handle.rows() == []
+
+    def test_clevel_threshold(self, lab):
+        handle = lab.query(
+            "SELECT A1.tagid FROM a1, a2, a3 "
+            "WHERE (CLEVEL_SEQ(A1, A2, A3)) < 2"
+        )
+        self.feed(lab, [
+            ("a1", 1.0), ("a2", 2.0), ("a1", 3.0),  # level-2 failure: >= 2
+            ("a2", 4.0), ("a3", 5.0),                # restarted run completes
+            ("a3", 100.0),                            # wrong start: level 0
+        ])
+        # Only the level-0 wrong start satisfies CLEVEL < 2.
+        assert len(handle.rows()) == 1
+
+    def test_clevel_equals_n_selects_completions(self, lab):
+        handle = lab.query(
+            "SELECT A1.tagid FROM a1, a2, a3 "
+            "WHERE (CLEVEL_SEQ(A1, A2, A3)) = 3"
+        )
+        self.feed(lab, [("a1", 1.0), ("a2", 2.0), ("a3", 3.0)])
+        assert len(handle.rows()) == 1
+
+    def test_exception_mode_recent(self, lab):
+        handle = lab.query(
+            "SELECT A1.tagid FROM a1, a2, a3 "
+            "WHERE EXCEPTION_SEQ(A1, A2, A3) MODE RECENT"
+        )
+        # (A, B) + B -> exception; replacement B then C completes silently.
+        self.feed(lab, [("a1", 1.0), ("a2", 2.0), ("a2", 3.0), ("a3", 4.0)])
+        assert len(handle.rows()) == 1
+
+    def test_window_following_mid_anchor(self, lab):
+        handle = lab.query(
+            "SELECT A1.tagid FROM a1, a2, a3 "
+            "WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A2]"
+        )
+        self.feed(lab, [("a1", 0.0)])
+        lab.advance_time(10000.0)  # no A2 yet: no timer, no exception
+        assert handle.rows() == []
+        self.feed(lab, [("a2", 10000.0)])
+        lab.advance_time(20000.0)
+        assert len(handle.rows()) == 1

@@ -1,0 +1,478 @@
+"""Integration suite: every example query from the paper, verbatim.
+
+One test class per example (1-8).  Queries are copied from the paper text
+(modulo nothing — whitespace included); where the paper gives two variants
+(Example 7's aggregated and per-tuple forms, the CLEVEL alternative of the
+Example 5 query), both are exercised.
+"""
+
+import pytest
+
+from repro.dsms import Engine
+
+# ---------------------------------------------------------------------------
+# Example 1 — Duplicate Filtering with Join
+# ---------------------------------------------------------------------------
+
+
+class TestExample1DuplicateFiltering:
+    QUERY = """
+    INSERT INTO cleaned_readings
+    SELECT * FROM readings AS r1
+    WHERE NOT EXISTS
+      (SELECT * FROM TABLE( readings OVER
+         (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+       WHERE r2.reader_id = r1.reader_id
+         AND r2.tag_id = r1.tag_id)
+    """
+
+    @pytest.fixture
+    def setup(self):
+        engine = Engine()
+        engine.create_stream(
+            "readings", "reader_id str, tag_id str, read_time float"
+        )
+        engine.create_stream(
+            "cleaned_readings", "reader_id str, tag_id str, read_time float"
+        )
+        engine.query(self.QUERY)
+        return engine, engine.collect("cleaned_readings")
+
+    def push(self, engine, reader, tag, ts):
+        engine.push(
+            "readings",
+            {"reader_id": reader, "tag_id": tag, "read_time": ts},
+            ts=ts,
+        )
+
+    def test_repeated_reads_collapse(self, setup):
+        engine, out = setup
+        for ts in (0.0, 0.2, 0.4, 0.6):
+            self.push(engine, "g1", "t1", ts)
+        assert len(out) == 1
+
+    def test_sliding_duplicate_chain(self, setup):
+        # Each read is within 1s of the previous: the whole chain is one
+        # logical reading even though it spans > 1s total.
+        engine, out = setup
+        for ts in (0.0, 0.8, 1.6, 2.4):
+            self.push(engine, "g1", "t1", ts)
+        assert len(out) == 1
+
+    def test_reappearance_after_gap_is_new(self, setup):
+        engine, out = setup
+        self.push(engine, "g1", "t1", 0.0)
+        self.push(engine, "g1", "t1", 5.0)
+        assert len(out) == 2
+
+    def test_duplicate_readers_distinct(self, setup):
+        engine, out = setup
+        self.push(engine, "g1", "t1", 0.0)
+        self.push(engine, "g2", "t1", 0.1)  # different reader: not a dup
+        assert len(out) == 2
+
+    def test_duplicate_tags_distinct(self, setup):
+        engine, out = setup
+        self.push(engine, "g1", "t1", 0.0)
+        self.push(engine, "g1", "t2", 0.1)
+        assert len(out) == 2
+
+
+# ---------------------------------------------------------------------------
+# Example 2 — Location Tracking
+# ---------------------------------------------------------------------------
+
+
+class TestExample2LocationTracking:
+    QUERY = """
+    INSERT INTO object_movement
+    SELECT tid, loc, tagtime
+    FROM tag_locations WHERE NOT EXISTS
+      (SELECT tagid FROM object_movement
+       WHERE tagid = tid AND location = loc)
+    """
+
+    @pytest.fixture
+    def setup(self):
+        engine = Engine()
+        engine.create_stream(
+            "tag_locations", "readerid str, tid str, tagtime float, loc str"
+        )
+        engine.create_table(
+            "object_movement", "tagid str, location str, start_time float"
+        )
+        engine.query(self.QUERY)
+        return engine
+
+    def push(self, engine, tid, loc, ts):
+        engine.push(
+            "tag_locations",
+            {"readerid": "r", "tid": tid, "tagtime": ts, "loc": loc},
+            ts=ts,
+        )
+
+    def test_first_sighting_recorded(self, setup):
+        self.push(setup, "t1", "dock", 1.0)
+        assert list(setup.table("object_movement").scan()) == [
+            {"tagid": "t1", "location": "dock", "start_time": 1.0}
+        ]
+
+    def test_repeat_sighting_suppressed(self, setup):
+        self.push(setup, "t1", "dock", 1.0)
+        self.push(setup, "t1", "dock", 2.0)
+        assert len(setup.table("object_movement")) == 1
+
+    def test_location_change_recorded(self, setup):
+        self.push(setup, "t1", "dock", 1.0)
+        self.push(setup, "t1", "aisle", 2.0)
+        assert len(setup.table("object_movement")) == 2
+
+    def test_tags_tracked_independently(self, setup):
+        self.push(setup, "t1", "dock", 1.0)
+        self.push(setup, "t2", "dock", 2.0)
+        assert len(setup.table("object_movement")) == 2
+
+
+# ---------------------------------------------------------------------------
+# Example 3 — EPC Code Pattern Based Aggregation
+# ---------------------------------------------------------------------------
+
+
+class TestExample3EpcAggregation:
+    QUERY = """
+    SELECT count(tid) FROM readings WHERE tid LIKE '20.%.%'
+    AND extract_serial(tid) > 5000
+    AND extract_serial(tid) < 9999
+    """
+
+    @pytest.fixture
+    def setup(self):
+        engine = Engine()
+        engine.create_stream("readings", "reader_id str, tid str, read_time float")
+        handle = engine.query(self.QUERY)
+        return engine, handle
+
+    def push(self, engine, tid, ts):
+        engine.push(
+            "readings", {"reader_id": "r", "tid": tid, "read_time": ts}, ts=ts
+        )
+
+    def test_matching_epcs_counted(self, setup):
+        engine, handle = setup
+        self.push(engine, "20.1.6000", 0.0)
+        self.push(engine, "20.9.7500", 1.0)
+        assert handle.rows()[-1]["count_tid"] == 2
+
+    def test_wrong_company_excluded(self, setup):
+        engine, handle = setup
+        self.push(engine, "21.1.6000", 0.0)
+        assert handle.rows() == []
+
+    def test_open_interval_bounds(self, setup):
+        engine, handle = setup
+        self.push(engine, "20.1.5000", 0.0)   # not > 5000
+        self.push(engine, "20.1.9999", 1.0)   # not < 9999
+        self.push(engine, "20.1.5001", 2.0)
+        assert handle.rows()[-1]["count_tid"] == 1
+
+    def test_malformed_epc_ignored(self, setup):
+        engine, handle = setup
+        self.push(engine, "20.garbage", 0.0)
+        self.push(engine, "20.1.notanumber", 1.0)
+        assert handle.rows() == []
+
+
+# ---------------------------------------------------------------------------
+# Example 6 — Detecting a Sequence with the SEQ Operator (+ window variant)
+# ---------------------------------------------------------------------------
+
+
+class TestExample6QualitySequence:
+    QUERY = """
+    SELECT C1.tagid, C1.tagtime,
+           C2.tagtime, C3.tagtime, C4.tagtime
+    FROM C1, C2, C3, C4
+    WHERE SEQ(C1, C2, C3, C4)
+    AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
+    AND C1.tagid=C4.tagid
+    """
+
+    WINDOWED = """
+    SELECT C4.tagid, C1.tagtime
+    FROM C1, C2, C3, C4
+    WHERE SEQ(C1, C2, C3, C4)
+    OVER [30 MINUTES PRECEDING C4]
+    AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
+    AND C1.tagid=C4.tagid
+    """
+
+    def engine(self):
+        engine = Engine()
+        for name in ("c1", "c2", "c3", "c4"):
+            engine.create_stream(name, "readerid str, tagid str, tagtime float")
+        return engine
+
+    def feed(self, engine, trace):
+        for stream, tag, ts in trace:
+            engine.push(
+                stream, {"readerid": stream, "tagid": tag, "tagtime": ts},
+                ts=ts,
+            )
+
+    def test_full_pass_detected(self):
+        engine = self.engine()
+        handle = engine.query(self.QUERY)
+        self.feed(engine, [("c1", "a", 1), ("c2", "a", 2), ("c3", "a", 3),
+                           ("c4", "a", 4)])
+        row = handle.rows()[0]
+        assert row["tagid"] == "a"
+        assert (row["tagtime"], row["tagtime_2"], row["tagtime_3"],
+                row["tagtime_4"]) == (1, 2, 3, 4)
+
+    def test_incomplete_pass_not_detected(self):
+        engine = self.engine()
+        handle = engine.query(self.QUERY)
+        self.feed(engine, [("c1", "a", 1), ("c2", "a", 2), ("c4", "a", 4)])
+        assert handle.rows() == []
+
+    def test_windowed_variant_rejects_slow_pass(self):
+        engine = self.engine()
+        handle = engine.query(self.WINDOWED)
+        self.feed(engine, [("c1", "a", 0), ("c2", "a", 60), ("c3", "a", 120),
+                           ("c4", "a", 2000)])  # 2000s > 30min
+        assert handle.rows() == []
+
+    def test_windowed_variant_accepts_fast_pass(self):
+        engine = self.engine()
+        handle = engine.query(self.WINDOWED)
+        self.feed(engine, [("c1", "a", 0), ("c2", "a", 60), ("c3", "a", 120),
+                           ("c4", "a", 1700)])
+        assert len(handle.rows()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Example 7 — Star sequence containment (both output forms)
+# ---------------------------------------------------------------------------
+
+
+class TestExample7Containment:
+    AGGREGATED = """
+    SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+    FROM R1, R2
+    WHERE SEQ(R1*, R2) MODE CHRONICLE
+    AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+    AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
+    """
+
+    PER_TUPLE = """
+    SELECT R1.tagid, R1.tagtime,
+           R2.tagid, R2.tagtime
+    FROM R1, R2
+    WHERE SEQ(R1*, R2) MODE CHRONICLE
+    AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+    AND R1.tagtime - R1.previous.tagtime < 1 SECONDS
+    """
+
+    def engine(self):
+        engine = Engine()
+        engine.create_stream("r1", "readerid str, tagid str, tagtime float")
+        engine.create_stream("r2", "readerid str, tagid str, tagtime float")
+        return engine
+
+    def feed(self, engine, products, cases):
+        for tag, ts in products:
+            engine.push(
+                "r1", {"readerid": "r1", "tagid": tag, "tagtime": ts}, ts=ts
+            )
+        for tag, ts in cases:
+            engine.push(
+                "r2", {"readerid": "r2", "tagid": tag, "tagtime": ts}, ts=ts
+            )
+
+    def test_aggregated_output(self):
+        engine = self.engine()
+        handle = engine.query(self.AGGREGATED)
+        self.feed(
+            engine,
+            [("p1", 0.0), ("p2", 0.5), ("p3", 1.2)],
+            [("case1", 3.0)],
+        )
+        row = handle.rows()[0]
+        assert row["first_R1_tagtime"] == 0.0
+        assert row["count_R1"] == 3
+        assert row["tagid"] == "case1"
+
+    def test_case_too_late_rejected(self):
+        engine = self.engine()
+        handle = engine.query(self.AGGREGATED)
+        self.feed(engine, [("p1", 0.0)], [("case1", 50.0)])
+        assert handle.rows() == []
+
+    def test_per_tuple_output(self):
+        engine = self.engine()
+        handle = engine.query(self.PER_TUPLE)
+        self.feed(engine, [("p1", 0.0), ("p2", 0.5)], [("case1", 2.0)])
+        rows = handle.rows()
+        assert [r["tagid"] for r in rows] == ["p1", "p2"]
+        assert all(r["tagid_2"] == "case1" for r in rows)
+        assert all(r["tagtime_2"] == 2.0 for r in rows)
+
+    def test_overlapping_cases_figure_1b(self):
+        """Products of case 2 arrive before case 1's tag is read."""
+        engine = self.engine()
+        handle = engine.query(self.AGGREGATED)
+        self.feed(
+            engine,
+            [("p1", 0.0), ("p2", 0.5)],
+            [],
+        )
+        # Case 2 products start (gap > 1s) before case 1's tag reading.
+        engine.push("r1", {"readerid": "r1", "tagid": "q1", "tagtime": 2.0},
+                    ts=2.0)
+        engine.push("r2", {"readerid": "r2", "tagid": "case1",
+                           "tagtime": 2.5}, ts=2.5)
+        engine.push("r1", {"readerid": "r1", "tagid": "q2", "tagtime": 2.8},
+                    ts=2.8)
+        engine.push("r2", {"readerid": "r2", "tagid": "case2",
+                           "tagtime": 4.0}, ts=4.0)
+        rows = handle.rows()
+        assert [(r["tagid"], r["count_R1"]) for r in rows] == [
+            ("case1", 2), ("case2", 2),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Example 5 / section 3.1.3 — EXCEPTION_SEQ and CLEVEL_SEQ
+# ---------------------------------------------------------------------------
+
+
+class TestExample5Workflow:
+    EXCEPTION = """
+    SELECT A1.tagid, A2.tagid, A3.tagid
+    FROM A1, A2, A3
+    WHERE EXCEPTION_SEQ(A1, A2, A3)
+    OVER [1 HOURS FOLLOWING A1]
+    """
+
+    CLEVEL = """
+    SELECT A1.tagid, A2.tagid, A3.tagid
+    FROM A1, A2, A3
+    WHERE (CLEVEL_SEQ(A1, A2, A3)
+    OVER [1 HOURS FOLLOWING A1]) < 3
+    """
+
+    MID_ANCHOR = """
+    SELECT A1.tagid FROM A1, A2, A3
+    WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A2]
+    """
+
+    def engine(self):
+        engine = Engine()
+        for name in ("a1", "a2", "a3"):
+            engine.create_stream(name, "tagid str, tagtime float")
+        return engine
+
+    def feed(self, engine, trace):
+        for stream, ts in trace:
+            engine.push(stream, {"tagid": "staff", "tagtime": ts}, ts=ts)
+
+    @pytest.mark.parametrize("query_attr", ["EXCEPTION", "CLEVEL"])
+    def test_equivalence_of_both_forms(self, query_attr):
+        """The paper states the CLEVEL form is equivalent to EXCEPTION_SEQ."""
+        engine = self.engine()
+        handle = engine.query(getattr(self, query_attr))
+        self.feed(engine, [
+            ("a1", 0.0), ("a2", 10.0), ("a3", 20.0),  # ok
+            ("a1", 100.0), ("a3", 110.0),              # wrong order
+            ("a2", 200.0),                              # wrong start
+            ("a1", 300.0),                              # timeout below
+        ])
+        engine.advance_time(10000.0)
+        assert len(handle.rows()) == 3
+
+    def test_correct_sequence_silent(self):
+        engine = self.engine()
+        handle = engine.query(self.EXCEPTION)
+        self.feed(engine, [("a1", 0.0), ("a2", 10.0), ("a3", 20.0)])
+        engine.advance_time(10000.0)
+        assert handle.rows() == []
+
+    def test_timeout_exceeds_hour(self):
+        engine = self.engine()
+        handle = engine.query(self.EXCEPTION)
+        self.feed(engine, [("a1", 0.0), ("a2", 10.0), ("a3", 3700.0)])
+        # a3 arrives after the 1h deadline: expiration fires first.
+        rows = handle.rows()
+        assert len(rows) >= 1
+
+    def test_following_window_on_second_stage(self):
+        """The paper's FOLLOWING A2 variant: the clock starts at A2."""
+        engine = self.engine()
+        handle = engine.query(self.MID_ANCHOR)
+        self.feed(engine, [("a1", 0.0)])
+        engine.advance_time(100000.0)  # A1 alone never times out
+        assert handle.rows() == []
+        self.feed(engine, [("a2", 100000.0)])
+        engine.advance_time(200000.0)
+        assert len(handle.rows()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Example 8 — Sliding Window Across Sub-query Boundary
+# ---------------------------------------------------------------------------
+
+
+class TestExample8Door:
+    QUERY = """
+    SELECT person.tagid
+    FROM tag_readings AS person
+    WHERE person.tagtype = 'person' AND NOT EXISTS
+      (SELECT * FROM tag_readings AS item
+       OVER [1 MINUTES
+       PRECEDING AND FOLLOWING person]
+       WHERE item.tagtype = 'item')
+    """
+
+    @pytest.fixture
+    def setup(self):
+        engine = Engine()
+        engine.create_stream(
+            "tag_readings", "tagid str, tagtype str, tagtime float"
+        )
+        handle = engine.query(self.QUERY)
+        return engine, handle
+
+    def push(self, engine, tagid, tagtype, ts):
+        engine.push(
+            "tag_readings",
+            {"tagid": tagid, "tagtype": tagtype, "tagtime": ts},
+            ts=ts,
+        )
+
+    def test_person_with_item_before_suppressed(self, setup):
+        engine, handle = setup
+        self.push(engine, "i1", "item", 60.0)
+        self.push(engine, "p1", "person", 100.0)
+        engine.advance_time(1000.0)
+        assert handle.rows() == []
+
+    def test_person_with_item_after_suppressed(self, setup):
+        engine, handle = setup
+        self.push(engine, "p1", "person", 100.0)
+        self.push(engine, "i1", "item", 150.0)
+        engine.advance_time(1000.0)
+        assert handle.rows() == []
+
+    def test_lonely_person_reported_after_window(self, setup):
+        engine, handle = setup
+        self.push(engine, "p1", "person", 100.0)
+        assert handle.rows() == []  # decision pending
+        engine.advance_time(161.0)
+        assert [r["tagid"] for r in handle.rows()] == ["p1"]
+
+    def test_item_far_away_does_not_suppress(self, setup):
+        engine, handle = setup
+        self.push(engine, "i1", "item", 0.0)
+        self.push(engine, "p1", "person", 200.0)  # 200s later > 60s
+        engine.advance_time(1000.0)
+        assert len(handle.rows()) == 1

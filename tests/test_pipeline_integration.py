@@ -1,0 +1,167 @@
+"""Integration tests: multi-stage pipelines chained through derived streams.
+
+The paper's architectural argument (section 1) is that one DSMS covers the
+whole RFID pipeline — cleaning, event detection, persistence, aggregation.
+These tests compose several paper queries in one engine and check the
+end-to-end results.
+"""
+
+import pytest
+
+from repro.dsms import Engine
+
+
+@pytest.fixture
+def pipeline_engine():
+    engine = Engine()
+    engine.query("""
+        CREATE STREAM raw_products(readerid str, tagid str, tagtime float);
+        CREATE STREAM products(readerid str, tagid str, tagtime float);
+        CREATE STREAM cases(readerid str, tagid str, tagtime float);
+        CREATE STREAM packed_cases(casetag str, items int,
+                                   first_item float, packed_at float);
+        CREATE TABLE shipments(casetag str, items int, packed_at float);
+    """)
+    engine.query("""
+        INSERT INTO products
+        SELECT * FROM raw_products AS r1
+        WHERE NOT EXISTS
+          (SELECT * FROM TABLE(raw_products OVER
+             (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2
+           WHERE r2.readerid = r1.readerid AND r2.tagid = r1.tagid)
+    """)
+    engine.query("""
+        INSERT INTO packed_cases
+        SELECT R2.tagid, COUNT(R1*), FIRST(R1*).tagtime, R2.tagtime
+        FROM products AS R1, cases AS R2
+        WHERE SEQ(R1*, R2) MODE CHRONICLE
+        AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+        AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
+    """)
+    engine.query("""
+        INSERT INTO shipments
+        SELECT p.casetag, p.items, p.packed_at
+        FROM packed_cases AS p WHERE NOT EXISTS
+          (SELECT casetag FROM shipments AS s WHERE s.casetag = p.casetag)
+    """)
+    return engine
+
+
+def pack_case(engine, case_name, item_tags, start, duplicates=3):
+    t = start
+    for tag in item_tags:
+        for repeat in range(duplicates):
+            ts = t + repeat * 0.2
+            engine.push(
+                "raw_products",
+                {"readerid": "belt", "tagid": tag, "tagtime": ts},
+                ts=ts,
+            )
+        t += 0.7
+    case_ts = t + 2.0
+    engine.push(
+        "cases",
+        {"readerid": "pack", "tagid": case_name, "tagtime": case_ts},
+        ts=case_ts,
+    )
+    return case_ts + 3.0
+
+
+class TestSupplyChainPipeline:
+    def test_end_to_end_counts(self, pipeline_engine):
+        t = 0.0
+        sizes = [2, 4, 3]
+        for index, size in enumerate(sizes):
+            tags = [f"20.1.{index * 100 + i}" for i in range(size)]
+            t = pack_case(pipeline_engine, f"case-{index}", tags, t)
+        rows = list(pipeline_engine.table("shipments").scan())
+        assert [row["items"] for row in rows] == sizes
+
+    def test_dedup_stage_compresses(self, pipeline_engine):
+        pack_case(pipeline_engine, "c", ["20.1.1", "20.1.2"], 0.0,
+                  duplicates=4)
+        assert pipeline_engine.stream("raw_products").count == 8
+        assert pipeline_engine.stream("products").count == 2
+
+    def test_duplicates_do_not_inflate_counts(self, pipeline_engine):
+        pack_case(pipeline_engine, "c", ["20.1.1", "20.1.2", "20.1.3"], 0.0,
+                  duplicates=4)
+        rows = list(pipeline_engine.table("shipments").scan())
+        assert rows[0]["items"] == 3  # not 12
+
+    def test_re_reading_case_tag_does_not_duplicate_shipment(
+        self, pipeline_engine
+    ):
+        end = pack_case(pipeline_engine, "c", ["20.1.1"], 0.0)
+        # The case tag is read again later (e.g. at the door): no product
+        # run is pending, so packed_cases gets nothing new.
+        pipeline_engine.push(
+            "cases",
+            {"readerid": "door", "tagid": "c", "tagtime": end + 100.0},
+            ts=end + 100.0,
+        )
+        assert len(pipeline_engine.table("shipments")) == 1
+
+    def test_derived_stream_timestamps_monotone(self, pipeline_engine):
+        t = 0.0
+        for index in range(4):
+            t = pack_case(pipeline_engine, f"case-{index}",
+                          [f"20.2.{index}"], t)
+        collector = pipeline_engine.collect("packed_cases")
+        t = pack_case(pipeline_engine, "case-final", ["20.2.99"], t)
+        stamps = [tup.ts for tup in collector]
+        assert stamps == sorted(stamps)
+
+
+class TestStagedAggregation:
+    """Temporal detection cannot mix with aggregation in one query — the
+    documented idiom is staging through a derived stream."""
+
+    def test_aggregate_over_derived_events(self):
+        engine = Engine()
+        engine.query("""
+            CREATE STREAM a(tagid str, tagtime float);
+            CREATE STREAM b(tagid str, tagtime float);
+            CREATE STREAM pairs(tagid str, latency float);
+        """)
+        engine.query("""
+            INSERT INTO pairs
+            SELECT A.tagid, B.tagtime - A.tagtime
+            FROM a AS A, b AS B
+            WHERE SEQ(A, B) MODE CHRONICLE AND A.tagid = B.tagid
+        """)
+        stats = engine.query(
+            "SELECT count(latency), avg(latency), max(latency) FROM pairs"
+        )
+        for index, latency in enumerate([2.0, 5.0, 8.0]):
+            base = index * 100.0
+            engine.push("a", {"tagid": f"t{index}", "tagtime": base}, ts=base)
+            engine.push("b", {"tagid": f"t{index}", "tagtime": base + latency},
+                        ts=base + latency)
+        final = stats.rows()[-1]
+        assert final["count_latency"] == 3
+        assert final["avg_latency"] == 5.0
+        assert final["max_latency"] == 8.0
+
+    def test_exception_stream_feeding_alert_count(self):
+        engine = Engine()
+        engine.query("""
+            CREATE STREAM a1(tagid str, tagtime float);
+            CREATE STREAM a2(tagid str, tagtime float);
+            CREATE STREAM a3(tagid str, tagtime float);
+            CREATE STREAM alerts(who str);
+        """)
+        engine.query("""
+            INSERT INTO alerts
+            SELECT A1.tagid FROM a1, a2, a3
+            WHERE EXCEPTION_SEQ(A1, A2, A3)
+        """)
+        # count(*) rather than count(who): a wrong-start alert has no A1
+        # binding, so its `who` is NULL and count(who) would skip it.
+        counter = engine.query("SELECT count(*) FROM alerts")
+        trace = [("a1", 1.0), ("a3", 2.0),          # violation
+                 ("a1", 3.0), ("a2", 4.0), ("a3", 5.0),  # clean
+                 ("a2", 6.0)]                          # wrong start
+        for stream, ts in trace:
+            engine.push(stream, {"tagid": "s", "tagtime": ts}, ts=ts)
+        assert counter.rows()[-1]["count_all"] == 2

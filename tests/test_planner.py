@@ -1,0 +1,112 @@
+"""Unit tests for plan descriptions and the optimizer report."""
+
+import pytest
+
+from repro import describe_handle, optimization_report
+from repro.dsms import Engine
+
+
+@pytest.fixture
+def eng(engine):
+    for name in ("c1", "c2", "c3", "c4", "r1", "r2"):
+        engine.create_stream(name, "readerid str, tagid str, tagtime float")
+    return engine
+
+
+class TestDescribeHandle:
+    def test_filter_query_plan(self, eng):
+        handle = eng.query("SELECT tagid FROM c1")
+        plan = describe_handle(handle)
+        text = plan.render()
+        assert "ContinuousQuery" in text
+        assert "Pipeline" in text
+
+    def test_seq_plan_shows_operator(self, eng):
+        handle = eng.query(
+            "SELECT C1.tagid FROM c1, c2 WHERE SEQ(C1, C2) MODE RECENT "
+            "AND C1.tagid = C2.tagid"
+        )
+        text = describe_handle(handle).render()
+        assert "SeqOperator" in text
+        assert "mode=recent" in text
+        assert "partitioned" in text
+        # The equality join was fully hoisted into partitioning: no guard.
+        assert "guarded" not in text
+        assert "c1 AS C1" in text
+
+    def test_star_plan_shows_gap(self, eng):
+        handle = eng.query(
+            "SELECT COUNT(R1*) FROM r1, r2 WHERE SEQ(R1*, R2) MODE CHRONICLE "
+            "AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS"
+        )
+        text = describe_handle(handle).render()
+        assert "StarSeqOperator" in text
+        assert "r1* AS R1 gap-checked" in text
+
+    def test_window_rendered(self, eng):
+        handle = eng.query(
+            "SELECT C1.tagid FROM c1, c2 WHERE SEQ(C1, C2) "
+            "OVER [5 MINUTES PRECEDING C2]"
+        )
+        text = describe_handle(handle).render()
+        assert "window=300" in text
+
+
+class TestOptimizationReport:
+    def test_temporal_report(self, eng):
+        report = optimization_report(eng, """
+            SELECT C1.tagid FROM c1, c2, c3, c4
+            WHERE SEQ(C1, C2, C3, C4) MODE RECENT
+            AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid
+        """)
+        assert report["kind"] == "temporal"
+        assert report["temporal_op"] == "SEQ"
+        assert report["mode"] == "RECENT"
+        assert report["partition_field"] == "tagid"
+        assert report["guard_terms"] == 0  # all three equalities hoisted
+
+    def test_star_report(self, eng):
+        report = optimization_report(eng, """
+            SELECT R1.tagid FROM r1, r2 WHERE SEQ(R1*, R2)
+            AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
+        """)
+        assert report["hoisted_gap_constraints"] == 1
+        assert report["multi_return"] == "r1"
+
+    def test_filter_report(self, eng):
+        report = optimization_report(
+            eng, "SELECT tagid FROM c1 WHERE tagid LIKE '20.%'"
+        )
+        assert report["kind"] == "filter"
+        assert report["temporal_op"] is None
+
+    def test_requires_single_select(self, eng):
+        with pytest.raises(ValueError):
+            optimization_report(eng, "CREATE STREAM zz(a)")
+
+
+class TestDescribeExceptionHandles:
+    def test_exception_seq_plan(self, eng):
+        for name in ("a1", "a2", "a3"):
+            eng.create_stream(name, "tagid str, tagtime float")
+        handle = eng.query(
+            "SELECT A1.tagid FROM a1, a2, a3 "
+            "WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A1]"
+        )
+        text = describe_handle(handle).render()
+        assert "ExceptionSeqOperator" in text
+        assert "window=3600" in text
+        assert "following" in text
+
+    def test_symmetric_exists_plan_is_pipeline(self, eng):
+        eng.create_stream("tag_readings", "tagid str, tagtype str, tagtime float")
+        handle = eng.query("""
+            SELECT item.tagid FROM tag_readings AS item
+            WHERE item.tagtype = 'item' AND NOT EXISTS
+              (SELECT * FROM tag_readings AS person
+               OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+               WHERE person.tagtype = 'person')
+        """)
+        text = describe_handle(handle).render()
+        assert "SymmetricExistsOperator" in text
+        assert "NOT EXISTS" in text

@@ -1,0 +1,191 @@
+"""Unit tests for the RFID reader models and workload generators."""
+
+import random
+
+import pytest
+
+from repro.rfid.readers import ReaderModel, Reading, merge_readings, readings_to_trace
+from repro.rfid.workloads import (
+    dedup_workload,
+    door_workload,
+    epc_stream_workload,
+    lab_workflow_workload,
+    location_workload,
+    packing_workload,
+    quality_check_workload,
+    uniform_sequence_workload,
+)
+
+
+class TestReaderModel:
+    def test_dwell_produces_duplicates(self):
+        reader = ReaderModel("r1", read_interval=0.25)
+        readings = reader.observe("t1", 0.0, 1.0)
+        assert len(readings) == 5  # 0, .25, .5, .75, 1.0
+        assert all(r.reader_id == "r1" for r in readings)
+
+    def test_single_read(self):
+        reader = ReaderModel("r1")
+        readings = reader.observe("t1", 3.0)
+        assert len(readings) == 1
+        assert readings[0].ts == 3.0
+
+    def test_miss_rate_one_drops_everything(self):
+        reader = ReaderModel("r1", miss_rate=1.0)
+        assert reader.observe("t1", 0.0, 1.0) == []
+
+    def test_drop_rate_keeps_first_report(self):
+        reader = ReaderModel("r1", drop_rate=1.0, rng=random.Random(0))
+        readings = reader.observe("t1", 0.0, 2.0)
+        assert len(readings) == 1  # only the first survives
+
+    def test_jitter_bounded(self):
+        reader = ReaderModel("r1", jitter=0.1, rng=random.Random(1))
+        readings = reader.observe("t1", 5.0, 6.0)
+        for nominal, reading in zip([5.0, 5.25, 5.5, 5.75, 6.0], readings):
+            assert abs(reading.ts - nominal) <= 0.1 + 1e-9
+
+    def test_output_sorted(self):
+        reader = ReaderModel("r1", jitter=0.2, rng=random.Random(2))
+        readings = reader.observe("t1", 0.0, 3.0)
+        assert readings == sorted(readings, key=lambda r: r.ts)
+
+    def test_ghost_reads(self):
+        reader = ReaderModel("r1", ghost_rate=1.0, rng=random.Random(3))
+        readings = reader.observe("20.1.5001", 0.0)
+        assert len(readings) == 2
+        assert readings[1].tag_id != "20.1.5001"
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ReaderModel("r", miss_rate=1.5)
+        with pytest.raises(ValueError):
+            ReaderModel("r", read_interval=0.0)
+
+    def test_merge_sorted(self):
+        a = [Reading("r1", "t", 1.0), Reading("r1", "t", 3.0)]
+        b = [Reading("r2", "t", 2.0)]
+        merged = merge_readings([a, b])
+        assert [r.ts for r in merged] == [1.0, 2.0, 3.0]
+
+    def test_readings_to_trace(self):
+        trace = list(readings_to_trace([Reading("r1", "t1", 2.0)], "s"))
+        assert trace == [
+            ("s", {"reader_id": "r1", "tag_id": "t1", "read_time": 2.0}, 2.0)
+        ]
+
+
+class TestWorkloadShapes:
+    def test_traces_time_sorted(self):
+        for workload in (
+            dedup_workload(n_tags=5),
+            location_workload(n_tags=3),
+            epc_stream_workload(n_readings=50),
+            packing_workload(n_cases=5),
+            lab_workflow_workload(n_runs=10),
+            quality_check_workload(n_products=10),
+            door_workload(n_events=10),
+            uniform_sequence_workload(n_tuples=50),
+        ):
+            stamps = [ts for __, __, ts in workload.trace]
+            assert stamps == sorted(stamps)
+
+    def test_workloads_deterministic(self):
+        assert dedup_workload(seed=5).trace == dedup_workload(seed=5).trace
+        assert packing_workload(seed=5).trace == packing_workload(seed=5).trace
+
+    def test_different_seeds_differ(self):
+        assert door_workload(seed=1).trace != door_workload(seed=2).trace
+
+
+class TestDedupWorkload:
+    def test_truth_counts_presences(self):
+        workload = dedup_workload(n_tags=4, presences_per_tag=3)
+        assert len(workload.truth) == 12
+
+    def test_duplicates_present(self):
+        workload = dedup_workload(n_tags=2, presences_per_tag=1, dwell=1.0,
+                                  read_interval=0.25)
+        assert len(workload.trace) > len(workload.truth)
+
+
+class TestPackingWorkload:
+    def test_truth_maps_cases_to_products(self):
+        workload = packing_workload(n_cases=6, products_per_case=(2, 4))
+        assert len(workload.truth) == 6
+        for products in workload.truth.values():
+            assert 2 <= len(products) <= 4
+
+    def test_intra_gap_below_threshold(self):
+        workload = packing_workload(n_cases=4, intra_gap=0.4)
+        product_times = {}
+        for stream, row, ts in workload.trace:
+            if stream == "r1":
+                product_times.setdefault(row["tagid"], ts)
+        for case, products in workload.truth.items():
+            stamps = sorted(product_times[p] for p in products)
+            gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+            assert all(gap <= 1.0 for gap in gaps)
+
+    def test_intra_gap_validation(self):
+        with pytest.raises(ValueError):
+            packing_workload(intra_gap=1.5)
+
+    def test_case_reading_present_per_case(self):
+        workload = packing_workload(n_cases=5)
+        case_tags = {row["tagid"] for s, row, __ in workload.trace if s == "r2"}
+        assert case_tags == set(workload.truth)
+
+
+class TestLabWorkload:
+    def test_counts_add_up(self):
+        workload = lab_workflow_workload(n_runs=40)
+        counts = workload.truth["counts"]
+        assert sum(counts.values()) == 40
+        assert workload.truth["violations"] == 40 - counts["ok"]
+
+    def test_zero_violation_rate(self):
+        workload = lab_workflow_workload(n_runs=20, violation_rate=0.0)
+        assert workload.truth["violations"] == 0
+
+
+class TestDoorWorkload:
+    def test_truth_partitions(self):
+        workload = door_workload(n_events=50)
+        truth = workload.truth
+        assert set(truth) == {"thefts", "lone_persons", "horizon"}
+        assert all(t.startswith("item") for t in truth["thefts"])
+        assert all(p.startswith("person") for p in truth["lone_persons"])
+
+    def test_events_well_separated(self):
+        workload = door_workload(n_events=20, tau=60.0)
+        # Consecutive *events* are > 2 tau apart, so windows never overlap
+        # across events (escort pairs are within one event).
+        stamps = [ts for __, __, ts in workload.trace]
+        assert stamps[-1] > 20 * 120
+
+
+class TestQualityWorkload:
+    def test_completed_have_four_stamps(self):
+        workload = quality_check_workload(n_products=30)
+        for stamps in workload.truth.values():
+            assert len(stamps) == 4
+            assert stamps == sorted(stamps)
+
+    def test_dropout_reduces_completed(self):
+        none = quality_check_workload(n_products=50, dropout_rate=0.0)
+        some = quality_check_workload(n_products=50, dropout_rate=0.8)
+        assert len(none.truth) == 50
+        assert len(some.truth) < 50
+
+
+class TestEpcWorkload:
+    def test_truth_counts_match_trace(self):
+        workload = epc_stream_workload(n_readings=300)
+        from repro.epc import EpcPattern
+
+        pattern = EpcPattern("20.*.[5000-9999]")
+        manual = sum(
+            1 for __, row, __ in workload.trace if pattern.matches(row["tid"])
+        )
+        assert workload.truth["pattern_count"] == manual

@@ -1,0 +1,167 @@
+"""Integration tests: packaged scenarios detect their ground truth.
+
+These are the accuracy claims of EXPERIMENTS.md, asserted as tests: each
+paper scenario, run on a simulated workload, must recover the ground truth
+exactly (the workloads are noise-free by default; noisy variants are
+exercised in the benchmarks).
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.bench import Accuracy, containment_accuracy
+from repro.rfid import (
+    build_containment,
+    build_dedup,
+    build_door,
+    build_epc_aggregation,
+    build_lab_workflow,
+    build_location,
+    build_quality_check,
+    dedup_workload,
+    door_workload,
+    epc_stream_workload,
+    lab_workflow_workload,
+    location_workload,
+    packing_workload,
+    quality_check_workload,
+)
+
+
+class TestDedupScenario:
+    def test_exact_recovery(self):
+        workload = dedup_workload(n_tags=20, presences_per_tag=4)
+        scenario = build_dedup(workload).feed()
+        detected = {
+            (row["tag_id"], row["read_time"]) for row in scenario.rows()
+        }
+        truth = set(workload.truth)
+        accuracy = Accuracy.from_sets(detected, truth)
+        assert accuracy.exact, accuracy
+
+    def test_compression_ratio(self):
+        workload = dedup_workload(n_tags=10, dwell=1.0, read_interval=0.2)
+        scenario = build_dedup(workload).feed()
+        assert len(scenario.rows()) < len(workload.trace) / 3
+
+
+class TestLocationScenario:
+    def test_movement_history_matches(self):
+        workload = location_workload(n_tags=8)
+        scenario = build_location(workload).feed()
+        table = scenario.engine.table("object_movement")
+        detected = {
+            (row["tagid"], row["location"], row["start_time"])
+            for row in table.scan()
+        }
+        assert detected == set(workload.truth)
+
+
+class TestEpcScenario:
+    def test_final_count_matches_paper_semantics(self):
+        workload = epc_stream_workload(n_readings=800)
+        scenario = build_epc_aggregation(workload).feed()
+        rows = scenario.rows()
+        final = rows[-1]["count_tid"] if rows else 0
+        assert final == workload.truth["paper_count"]
+
+
+class TestContainmentScenario:
+    def test_aggregated_counts(self):
+        workload = packing_workload(n_cases=25)
+        scenario = build_containment(workload).feed()
+        detected = {
+            row["tagid"]: row["count_R1"] for row in scenario.rows()
+        }
+        expected = {case: len(items) for case, items in workload.truth.items()}
+        assert detected == expected
+
+    def test_per_item_assignment_exact(self):
+        workload = packing_workload(n_cases=25)
+        scenario = build_containment(workload, per_item=True).feed()
+        grouped = defaultdict(list)
+        for row in scenario.rows():
+            grouped[row["tagid_2"]].append(row["tagid"])
+        accuracy = containment_accuracy(list(grouped.items()), workload.truth)
+        assert accuracy.exact, accuracy
+
+    def test_without_overlap(self):
+        workload = packing_workload(n_cases=10, overlap_next_case=False)
+        scenario = build_containment(workload).feed()
+        assert len(scenario.rows()) == 10
+
+
+class TestLabScenario:
+    def test_violation_count_matches(self):
+        workload = lab_workflow_workload(n_runs=50, violation_rate=0.4)
+        scenario = build_lab_workflow(workload).feed()
+        assert len(scenario.rows()) == workload.truth["violations"]
+
+    def test_clevel_variant_equivalent(self):
+        workload = lab_workflow_workload(n_runs=50, violation_rate=0.4)
+        exception = build_lab_workflow(workload).feed()
+        clevel = build_lab_workflow(
+            lab_workflow_workload(n_runs=50, violation_rate=0.4),
+            use_clevel=True,
+        ).feed()
+        assert len(exception.rows()) == len(clevel.rows())
+
+    def test_clean_runs_silent(self):
+        workload = lab_workflow_workload(n_runs=30, violation_rate=0.0)
+        scenario = build_lab_workflow(workload).feed()
+        assert scenario.rows() == []
+
+
+class TestQualityScenario:
+    def test_completed_products_detected(self):
+        workload = quality_check_workload(n_products=60, dropout_rate=0.2)
+        scenario = build_quality_check(workload).feed()
+        detected = {row["tagid"] for row in scenario.rows()}
+        assert detected == set(workload.truth)
+
+    def test_timestamps_reported(self):
+        workload = quality_check_workload(n_products=20, dropout_rate=0.0)
+        scenario = build_quality_check(workload).feed()
+        for row in scenario.rows():
+            stamps = workload.truth[row["tagid"]]
+            assert [row["tagtime"], row["tagtime_2"], row["tagtime_3"],
+                    row["tagtime_4"]] == stamps
+
+    def test_unrestricted_mode_equivalent_here(self):
+        # With per-tag equality joins, UNRESTRICTED produces the same matches
+        # as RECENT on this workload (one pass per product).
+        workload = quality_check_workload(n_products=25)
+        recent = build_quality_check(workload).feed()
+        unrestricted = build_quality_check(
+            quality_check_workload(n_products=25), mode=None
+        ).feed()
+        assert {r["tagid"] for r in recent.rows()} == {
+            r["tagid"] for r in unrestricted.rows()
+        }
+
+
+class TestDoorScenario:
+    def test_theft_detection_exact(self):
+        workload = door_workload(n_events=60)
+        scenario = build_door(workload).feed(
+            advance_to=workload.truth["horizon"]
+        )
+        detected = {row["tagid"] for row in scenario.rows()}
+        assert detected == set(workload.truth["thefts"])
+
+    def test_literal_paper_query_finds_lone_persons(self):
+        workload = door_workload(n_events=60)
+        scenario = build_door(workload, theft_variant=False).feed(
+            advance_to=workload.truth["horizon"]
+        )
+        detected = {row["tagid"] for row in scenario.rows()}
+        assert detected == set(workload.truth["lone_persons"])
+
+    def test_feed_idempotent(self):
+        workload = door_workload(n_events=10)
+        scenario = build_door(workload)
+        scenario.feed(advance_to=workload.truth["horizon"])
+        count = len(scenario.rows())
+        scenario.feed()  # second feed is a no-op
+        assert len(scenario.rows()) == count

@@ -1,0 +1,166 @@
+"""Unit tests for repro.dsms.schema."""
+
+import pytest
+
+from repro.dsms.errors import SchemaError
+from repro.dsms.schema import Field, FieldType, Schema
+
+
+class TestFieldType:
+    def test_int_accepts_int(self):
+        assert FieldType.INT.accepts(3)
+
+    def test_int_rejects_bool(self):
+        assert not FieldType.INT.accepts(True)
+
+    def test_int_rejects_float(self):
+        assert not FieldType.INT.accepts(3.5)
+
+    def test_float_accepts_int_and_float(self):
+        assert FieldType.FLOAT.accepts(3)
+        assert FieldType.FLOAT.accepts(3.5)
+
+    def test_str_accepts_str_only(self):
+        assert FieldType.STR.accepts("abc")
+        assert not FieldType.STR.accepts(3)
+
+    def test_bool_accepts_bool_only(self):
+        assert FieldType.BOOL.accepts(True)
+        assert not FieldType.BOOL.accepts(1)
+
+    def test_timestamp_accepts_numbers(self):
+        assert FieldType.TIMESTAMP.accepts(1.5)
+        assert FieldType.TIMESTAMP.accepts(10)
+        assert not FieldType.TIMESTAMP.accepts("10")
+
+    def test_any_accepts_everything(self):
+        assert FieldType.ANY.accepts(object())
+
+    def test_null_legal_for_every_type(self):
+        for ftype in FieldType:
+            assert ftype.accepts(None)
+
+    def test_coerce_int_from_string(self):
+        assert FieldType.INT.coerce("42") == 42
+
+    def test_coerce_float_from_string(self):
+        assert FieldType.FLOAT.coerce("4.5") == 4.5
+
+    def test_coerce_bool_from_words(self):
+        assert FieldType.BOOL.coerce("true") is True
+        assert FieldType.BOOL.coerce("no") is False
+
+    def test_coerce_bad_bool_raises(self):
+        with pytest.raises(SchemaError):
+            FieldType.BOOL.coerce("maybe")
+
+    def test_coerce_bad_int_raises(self):
+        with pytest.raises(SchemaError):
+            FieldType.INT.coerce("abc")
+
+    def test_coerce_none_passes_through(self):
+        assert FieldType.INT.coerce(None) is None
+
+
+class TestField:
+    def test_valid_name(self):
+        field = Field("tag_id", FieldType.STR)
+        assert field.name == "tag_id"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("tag id")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("")
+
+    def test_equality_and_hash(self):
+        assert Field("a", FieldType.INT) == Field("a", FieldType.INT)
+        assert Field("a", FieldType.INT) != Field("a", FieldType.STR)
+        assert hash(Field("a", FieldType.INT)) == hash(Field("a", FieldType.INT))
+
+
+class TestSchema:
+    def test_parse_with_types(self):
+        schema = Schema.parse("reader_id str, tag_id str, read_time timestamp")
+        assert schema.names == ("reader_id", "tag_id", "read_time")
+        assert schema.fields[2].type is FieldType.TIMESTAMP
+
+    def test_parse_without_types_defaults_any(self):
+        schema = Schema.parse("a, b")
+        assert all(f.type is FieldType.ANY for f in schema.fields)
+
+    def test_parse_unknown_type_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.parse("a frobnicator")
+
+    def test_parse_malformed_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.parse("a int extra")
+
+    def test_of_shorthand(self):
+        schema = Schema.of("x", "y")
+        assert len(schema) == 2
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("x", "x")
+
+    def test_position_lookup(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.position("b") == 1
+
+    def test_position_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").position("z")
+
+    def test_contains(self):
+        schema = Schema.of("a", "b")
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_equality_across_instances(self):
+        assert Schema.parse("a int, b str") == Schema.parse("a int, b str")
+        assert Schema.parse("a int") != Schema.parse("a str")
+
+    def test_hashable(self):
+        assert hash(Schema.of("a")) == hash(Schema.of("a"))
+
+    def test_validate_accepts_conforming_row(self):
+        schema = Schema.parse("a int, b str")
+        schema.validate([1, "x"])  # no raise
+
+    def test_validate_rejects_wrong_arity(self):
+        schema = Schema.parse("a int, b str")
+        with pytest.raises(SchemaError):
+            schema.validate([1])
+
+    def test_validate_rejects_wrong_type(self):
+        schema = Schema.parse("a int, b str")
+        with pytest.raises(SchemaError):
+            schema.validate(["oops", "x"])
+
+    def test_validate_accepts_nulls(self):
+        schema = Schema.parse("a int, b str")
+        schema.validate([None, None])
+
+    def test_coerce_row(self):
+        schema = Schema.parse("a int, b float, c str")
+        assert schema.coerce_row(["1", "2.5", 3]) == (1, 2.5, "3")
+
+    def test_project(self):
+        schema = Schema.parse("a int, b str, c float")
+        projected = schema.project(["c", "a"])
+        assert projected.names == ("c", "a")
+        assert projected.fields[0].type is FieldType.FLOAT
+
+    def test_rename(self):
+        schema = Schema.parse("a int, b str")
+        renamed = schema.rename({"a": "alpha"})
+        assert renamed.names == ("alpha", "b")
+        assert renamed.fields[0].type is FieldType.INT
+
+    def test_iteration_order(self):
+        schema = Schema.of("x", "y", "z")
+        assert [f.name for f in schema] == ["x", "y", "z"]

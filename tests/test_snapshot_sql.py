@@ -1,0 +1,167 @@
+"""Tests for ad-hoc snapshot SQL (Engine.enable_history + Engine.snapshot).
+
+The paper's section 2.1 "Ad-hoc Queries": current-state questions answered
+from live stream state, in SQL, without persisting anything.
+"""
+
+import pytest
+
+from repro.dsms import Engine
+from repro.dsms.errors import EslSemanticError
+
+
+@pytest.fixture
+def tracked(engine):
+    engine.create_stream(
+        "locs", "patient str, location str, tagtime float"
+    )
+    engine.enable_history("locs", duration=600.0)
+    rows = [
+        ("p1", "er", 0.0), ("p2", "icu", 10.0), ("p1", "ward", 20.0),
+        ("p3", "er", 30.0),
+    ]
+    for patient, location, ts in rows:
+        engine.push(
+            "locs",
+            {"patient": patient, "location": location, "tagtime": ts},
+            ts=ts,
+        )
+    return engine
+
+
+class TestSnapshotQueries:
+    def test_filter_projection(self, tracked):
+        rows = tracked.snapshot(
+            "SELECT patient, tagtime FROM locs WHERE location = 'er'"
+        )
+        assert rows == [
+            {"patient": "p1", "tagtime": 0.0},
+            {"patient": "p3", "tagtime": 30.0},
+        ]
+
+    def test_select_star(self, tracked):
+        rows = tracked.snapshot("SELECT * FROM locs")
+        assert len(rows) == 4
+        assert rows[0]["patient"] == "p1"
+
+    def test_aggregate(self, tracked):
+        rows = tracked.snapshot("SELECT count(patient), max(tagtime) FROM locs")
+        assert rows == [{"count_patient": 4, "max_tagtime": 30.0}]
+
+    def test_group_by(self, tracked):
+        rows = tracked.snapshot(
+            "SELECT location, count(patient) FROM locs GROUP BY location"
+        )
+        counts = {row["location"]: row["count_patient"] for row in rows}
+        assert counts == {"er": 2, "icu": 1, "ward": 1}
+
+    def test_having(self, tracked):
+        rows = tracked.snapshot(
+            "SELECT location, count(patient) FROM locs "
+            "GROUP BY location HAVING count(patient) > 1"
+        )
+        assert rows == [{"location": "er", "count_patient": 2}]
+
+    def test_window_retention_applies(self, tracked):
+        tracked.push(
+            "locs",
+            {"patient": "p9", "location": "er", "tagtime": 10000.0},
+            ts=10000.0,
+        )
+        rows = tracked.snapshot("SELECT patient FROM locs")
+        # Everything older than 600s fell out of the history.
+        assert rows == [{"patient": "p9"}]
+
+    def test_stream_table_join(self, tracked):
+        tracked.create_table("staff", "patient str, doctor str")
+        tracked.query("INSERT INTO staff VALUES ('p1', 'dr-a'), ('p2', 'dr-b')")
+        rows = tracked.snapshot(
+            "SELECT L.patient, S.doctor FROM locs AS L, staff AS S "
+            "WHERE L.patient = S.patient AND L.location = 'ward'"
+        )
+        assert rows == [{"patient": "p1", "doctor": "dr-a"}]
+
+    def test_exists_over_table(self, tracked):
+        tracked.create_table("authorized", "patient str")
+        tracked.query("INSERT INTO authorized VALUES ('p1')")
+        rows = tracked.snapshot(
+            "SELECT L.patient FROM locs AS L WHERE NOT EXISTS "
+            "(SELECT patient FROM authorized AS a WHERE a.patient = L.patient)"
+        )
+        assert {row["patient"] for row in rows} == {"p2", "p3"}
+
+    def test_snapshot_does_not_register_queries(self, tracked):
+        before = len(tracked.queries)
+        tracked.snapshot("SELECT patient FROM locs")
+        assert len(tracked.queries) == before
+
+    def test_repeated_snapshots_see_updates(self, tracked):
+        first = tracked.snapshot("SELECT count(*) FROM locs")
+        tracked.push(
+            "locs", {"patient": "p4", "location": "er", "tagtime": 40.0},
+            ts=40.0,
+        )
+        second = tracked.snapshot("SELECT count(*) FROM locs")
+        assert second[0]["count_all"] == first[0]["count_all"] + 1
+
+    def test_aggregate_on_empty_history(self, engine):
+        engine.create_stream("s", "v int")
+        engine.enable_history("s")
+        rows = engine.snapshot("SELECT count(v), sum(v) FROM s")
+        assert rows == [{"count_v": 0, "sum_v": None}]
+
+    def test_udf_in_snapshot(self, tracked):
+        rows = tracked.snapshot(
+            "SELECT upper(location) AS L FROM locs WHERE patient = 'p2'"
+        )
+        assert rows == [{"L": "ICU"}]
+
+
+class TestSnapshotErrors:
+    def test_requires_history(self, engine):
+        engine.create_stream("s", "v int")
+        with pytest.raises(EslSemanticError, match="enable_history"):
+            engine.snapshot("SELECT v FROM s")
+
+    def test_rejects_temporal(self, tracked):
+        tracked.create_stream("s2", "patient str, tagtime float")
+        tracked.enable_history("s2")
+        with pytest.raises(EslSemanticError, match="continuous"):
+            tracked.snapshot(
+                "SELECT L.patient FROM locs AS L, s2 WHERE SEQ(L, S2)"
+            )
+
+    def test_rejects_insert(self, tracked):
+        with pytest.raises(EslSemanticError):
+            tracked.snapshot("INSERT INTO x SELECT patient FROM locs")
+
+    def test_rejects_multiple_statements(self, tracked):
+        with pytest.raises(EslSemanticError):
+            tracked.snapshot(
+                "SELECT patient FROM locs; SELECT patient FROM locs"
+            )
+
+    def test_rejects_window_clause(self, tracked):
+        with pytest.raises(EslSemanticError, match="window"):
+            tracked.snapshot(
+                "SELECT patient FROM TABLE(locs OVER "
+                "(RANGE 5 SECONDS PRECEDING CURRENT)) AS w"
+            )
+
+    def test_rejects_stream_exists(self, tracked):
+        tracked.create_stream("other", "patient str")
+        tracked.enable_history("other")
+        with pytest.raises(EslSemanticError, match="tables"):
+            tracked.snapshot(
+                "SELECT patient FROM locs AS L WHERE EXISTS "
+                "(SELECT * FROM other)"
+            )
+
+    def test_unknown_source(self, tracked):
+        with pytest.raises(EslSemanticError):
+            tracked.snapshot("SELECT x FROM nothing")
+
+    def test_enable_history_idempotent(self, tracked):
+        view1 = tracked.enable_history("locs")
+        view2 = tracked.enable_history("locs")
+        assert view1 is view2

@@ -1,0 +1,135 @@
+"""Unit tests for in-memory tables."""
+
+import pytest
+
+from repro.dsms.errors import SchemaError, UnknownTableError
+from repro.dsms.schema import Schema
+from repro.dsms.table import Table, TableRegistry
+from repro.dsms.tuples import Tuple
+
+
+def movement_table():
+    table = Table("object_movement", "tagid str, location str, start_time float")
+    table.insert(["t1", "dock", 1.0])
+    table.insert(["t1", "aisle", 2.0])
+    table.insert(["t2", "dock", 3.0])
+    return table
+
+
+class TestInserts:
+    def test_insert_and_len(self):
+        table = movement_table()
+        assert len(table) == 3
+
+    def test_insert_validates_schema(self):
+        table = Table("t", "a int")
+        with pytest.raises(SchemaError):
+            table.insert(["not an int"])
+
+    def test_insert_dict_fills_nulls(self):
+        table = Table("t", "a int, b str")
+        table.insert_dict({"b": "x"})
+        assert list(table.rows()) == [(None, "x")]
+
+    def test_insert_dict_rejects_unknown(self):
+        table = Table("t", "a int")
+        with pytest.raises(SchemaError):
+            table.insert_dict({"zz": 1})
+
+    def test_insert_tuple_aligns_by_name(self):
+        table = Table("t", "tagid str, location str")
+        schema = Schema.parse("location str, tagid str, extra int")
+        table.insert_tuple(Tuple(schema, ["dock", "t9", 1], 0.0))
+        assert list(table.scan()) == [{"tagid": "t9", "location": "dock"}]
+
+
+class TestQueries:
+    def test_scan(self):
+        rows = list(movement_table().scan())
+        assert rows[0] == {"tagid": "t1", "location": "dock", "start_time": 1.0}
+
+    def test_lookup_without_index(self):
+        table = movement_table()
+        rows = list(table.lookup(tagid="t1"))
+        assert len(rows) == 2
+
+    def test_lookup_with_index(self):
+        table = movement_table()
+        table.create_index("tagid", "location")
+        rows = list(table.lookup(location="dock", tagid="t1"))
+        assert rows == [{"tagid": "t1", "location": "dock", "start_time": 1.0}]
+
+    def test_index_maintained_on_insert(self):
+        table = movement_table()
+        table.create_index("tagid")
+        table.insert(["t3", "gate", 9.0])
+        assert list(table.lookup(tagid="t3"))[0]["location"] == "gate"
+
+    def test_index_on_unknown_column(self):
+        with pytest.raises(SchemaError):
+            movement_table().create_index("bogus")
+
+    def test_exists(self):
+        table = movement_table()
+        assert table.exists(tagid="t1", location="dock")
+        assert not table.exists(tagid="t1", location="gate")
+
+    def test_as_tuples(self):
+        tuples = list(movement_table().as_tuples(ts=5.0))
+        assert len(tuples) == 3
+        assert tuples[0]["tagid"] == "t1"
+        assert tuples[0].ts == 5.0
+
+
+class TestMutations:
+    def test_delete_where(self):
+        table = movement_table()
+        removed = table.delete_where(lambda row: row[0] == "t1")
+        assert removed == 2
+        assert len(table) == 1
+
+    def test_delete_rebuilds_index(self):
+        table = movement_table()
+        table.create_index("tagid")
+        table.delete_where(lambda row: row[0] == "t1")
+        assert list(table.lookup(tagid="t1")) == []
+        assert len(list(table.lookup(tagid="t2"))) == 1
+
+    def test_update_where(self):
+        table = movement_table()
+        changed = table.update_where(
+            lambda row: row[1] == "dock", {"location": "dock2"}
+        )
+        assert changed == 2
+        assert table.exists(location="dock2")
+
+    def test_clear(self):
+        table = movement_table()
+        table.create_index("tagid")
+        table.clear()
+        assert len(table) == 0
+        assert list(table.lookup(tagid="t1")) == []
+
+
+class TestRegistry:
+    def test_create_get_case_insensitive(self):
+        registry = TableRegistry()
+        registry.create("Movement", "a int")
+        assert registry.get("movement").name == "Movement"
+
+    def test_duplicate_rejected(self):
+        registry = TableRegistry()
+        registry.create("t", "a")
+        with pytest.raises(SchemaError):
+            registry.create("T", "a")
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownTableError):
+            TableRegistry().get("missing")
+
+    def test_drop_and_contains(self):
+        registry = TableRegistry()
+        registry.create("t", "a")
+        assert "t" in registry
+        registry.drop("t")
+        assert "t" not in registry

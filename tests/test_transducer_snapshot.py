@@ -1,0 +1,141 @@
+"""Unit tests for single-stream transducers and ad-hoc snapshot views."""
+
+import pytest
+
+from repro.dsms import Engine, SnapshotView, Tuple, WindowSpec
+from repro.dsms.errors import SchemaError
+from repro.dsms.transducer import Transducer, filter_transducer, map_transducer
+
+
+@pytest.fixture
+def wired(engine):
+    source = engine.create_stream("raw", "tagid str, v int")
+    sink = engine.create_stream("out", "tagid str, v int")
+    return engine, source, sink
+
+
+class TestTransducer:
+    def test_map(self, wired):
+        engine, source, sink = wired
+        got = engine.collect("out")
+        map_transducer(source, sink, lambda t: t.replace(v=t["v"] * 2))
+        engine.push("raw", {"tagid": "a", "v": 3}, ts=0.0)
+        assert got.rows() == [{"tagid": "a", "v": 6}]
+
+    def test_filter(self, wired):
+        engine, source, sink = wired
+        got = engine.collect("out")
+        filter_transducer(source, sink, lambda t: t["v"] > 0)
+        engine.push("raw", {"tagid": "a", "v": -1}, ts=0.0)
+        engine.push("raw", {"tagid": "b", "v": 1}, ts=1.0)
+        assert [r["tagid"] for r in got.rows()] == ["b"]
+
+    def test_filter_requires_matching_schema(self, engine):
+        source = engine.create_stream("a", "x int")
+        sink = engine.create_stream("b", "y int")
+        with pytest.raises(SchemaError):
+            filter_transducer(source, sink, lambda t: True)
+
+    def test_one_to_many(self, wired):
+        engine, source, sink = wired
+        got = engine.collect("out")
+        Transducer(source, sink, lambda t: [t, t])
+        engine.push("raw", {"tagid": "a", "v": 1}, ts=0.0)
+        assert len(got) == 2
+
+    def test_output_schema_enforced(self, wired):
+        engine, source, sink = wired
+        bad_schema_tuple = Tuple(
+            engine.stream("raw").schema.project(["tagid"]), ["a"], 0.0
+        )
+        Transducer(source, sink, lambda t: [bad_schema_tuple])
+        with pytest.raises(SchemaError):
+            engine.push("raw", {"tagid": "a", "v": 1}, ts=0.0)
+
+    def test_counts_and_selectivity(self, wired):
+        engine, source, sink = wired
+        transducer = filter_transducer(source, sink, lambda t: t["v"] > 0)
+        assert transducer.selectivity == 1.0
+        engine.push("raw", {"tagid": "a", "v": 1}, ts=0.0)
+        engine.push("raw", {"tagid": "a", "v": -1}, ts=1.0)
+        assert transducer.in_count == 2
+        assert transducer.out_count == 1
+        assert transducer.selectivity == 0.5
+
+    def test_stop(self, wired):
+        engine, source, sink = wired
+        got = engine.collect("out")
+        transducer = map_transducer(source, sink, lambda t: t)
+        transducer.stop()
+        engine.push("raw", {"tagid": "a", "v": 1}, ts=0.0)
+        assert len(got) == 0
+
+
+class TestSnapshotView:
+    def make_view(self, engine, window=60.0):
+        stream = engine.create_stream(
+            "locs", "patient str, location str, tagtime float"
+        )
+        return stream, SnapshotView(stream, window)
+
+    def feed(self, engine, rows):
+        for patient, location, ts in rows:
+            engine.push(
+                "locs",
+                {"patient": patient, "location": location, "tagtime": ts},
+                ts=ts,
+            )
+
+    def test_current_respects_window(self, engine):
+        __, view = self.make_view(engine, window=10.0)
+        self.feed(engine, [("p1", "er", 0.0), ("p1", "ward", 100.0)])
+        assert [t["location"] for t in view.current()] == ["ward"]
+
+    def test_latest_by_patient_tracking(self, engine):
+        """The paper's ad-hoc query: current location of each patient."""
+        __, view = self.make_view(engine, window=None)
+        self.feed(engine, [
+            ("p1", "er", 0.0), ("p2", "icu", 1.0), ("p1", "ward", 2.0),
+        ])
+        latest = view.latest_by("patient")
+        assert latest["p1"]["location"] == "ward"
+        assert latest["p2"]["location"] == "icu"
+
+    def test_select_with_predicate_and_projection(self, engine):
+        __, view = self.make_view(engine, window=None)
+        self.feed(engine, [("p1", "er", 0.0), ("p2", "icu", 1.0)])
+        rows = view.select(
+            where=lambda t: t["location"] == "icu", columns=["patient"]
+        )
+        assert rows == [{"patient": "p2"}]
+
+    def test_aggregate_count(self, engine):
+        __, view = self.make_view(engine, window=None)
+        self.feed(engine, [("p1", "er", 0.0), ("p2", "er", 1.0)])
+        assert view.aggregate("count", "patient") == 2
+
+    def test_aggregate_count_star(self, engine):
+        __, view = self.make_view(engine, window=None)
+        self.feed(engine, [("p1", "er", 0.0)])
+        assert view.aggregate("count") == 1
+
+    def test_aggregate_with_where(self, engine):
+        __, view = self.make_view(engine, window=None)
+        self.feed(engine, [("p1", "er", 0.0), ("p2", "icu", 1.0)])
+        count = view.aggregate(
+            "count", "patient", where=lambda t: t["location"] == "er"
+        )
+        assert count == 1
+
+    def test_window_spec_accepted(self, engine):
+        stream = engine.create_stream("s2", "a")
+        view = SnapshotView(stream, WindowSpec("rows", 2))
+        for i in range(5):
+            engine.push("s2", {"a": i}, ts=float(i))
+        assert [t["a"] for t in view.current()] == [3, 4]
+
+    def test_stop_detaches(self, engine):
+        __, view = self.make_view(engine, window=None)
+        view.stop()
+        self.feed(engine, [("p1", "er", 0.0)])
+        assert len(view) == 0

@@ -1,0 +1,124 @@
+"""Unit tests for repro.dsms.tuples."""
+
+import pytest
+
+from repro.dsms.errors import SchemaError
+from repro.dsms.schema import Schema
+from repro.dsms.tuples import Tuple
+
+SCHEMA = Schema.parse("reader_id str, tag_id str, read_time float")
+
+
+def make(reader="r1", tag="t1", rt=1.0, ts=1.0):
+    return Tuple(SCHEMA, [reader, tag, rt], ts)
+
+
+class TestConstruction:
+    def test_positional_values(self):
+        tup = make()
+        assert tup["reader_id"] == "r1"
+        assert tup["tag_id"] == "t1"
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            Tuple(SCHEMA, ["r1", "t1"], 0.0)
+
+    def test_from_mapping(self):
+        tup = Tuple.from_mapping(SCHEMA, {"tag_id": "t9"}, ts=2.0)
+        assert tup["tag_id"] == "t9"
+        assert tup["reader_id"] is None  # missing fields become NULL
+
+    def test_from_mapping_rejects_unknown_fields(self):
+        with pytest.raises(SchemaError):
+            Tuple.from_mapping(SCHEMA, {"bogus": 1}, ts=0.0)
+
+    def test_timestamp_coerced_to_float(self):
+        tup = Tuple(SCHEMA, ["r", "t", 1], ts=3)
+        assert isinstance(tup.ts, float)
+
+    def test_sequence_numbers_monotone(self):
+        first = make()
+        second = make()
+        assert second.seq > first.seq
+
+
+class TestAccess:
+    def test_get_with_default(self):
+        tup = make()
+        assert tup.get("missing", 42) == 42
+        assert tup.get("tag_id") == "t1"
+
+    def test_contains(self):
+        tup = make()
+        assert "tag_id" in tup
+        assert "missing" not in tup
+        assert 3 not in tup
+
+    def test_as_dict(self):
+        assert make(rt=5.0).as_dict() == {
+            "reader_id": "r1", "tag_id": "t1", "read_time": 5.0,
+        }
+
+    def test_iter_and_len(self):
+        tup = make()
+        assert len(tup) == 3
+        assert list(tup) == ["r1", "t1", 1.0]
+
+
+class TestDerivation:
+    def test_replace(self):
+        tup = make().replace(tag_id="t2")
+        assert tup["tag_id"] == "t2"
+        assert tup["reader_id"] == "r1"
+
+    def test_replace_does_not_mutate_original(self):
+        original = make()
+        original.replace(tag_id="zzz")
+        assert original["tag_id"] == "t1"
+
+    def test_with_ts(self):
+        tup = make(ts=1.0).with_ts(9.0)
+        assert tup.ts == 9.0
+
+    def test_project(self):
+        tup = make()
+        projected = tup.project(["tag_id"])
+        assert projected.as_dict() == {"tag_id": "t1"}
+        assert projected.ts == tup.ts
+
+
+class TestOrdering:
+    def test_orders_by_timestamp(self):
+        early = make(ts=1.0)
+        late = make(ts=2.0)
+        assert early < late
+
+    def test_ties_broken_by_arrival(self):
+        first = make(ts=1.0)
+        second = make(ts=1.0)
+        assert first < second
+
+    def test_le(self):
+        first = make(ts=1.0)
+        assert first <= first
+
+    def test_sorting(self):
+        tuples = [make(ts=3.0), make(ts=1.0), make(ts=2.0)]
+        assert [t.ts for t in sorted(tuples)] == [1.0, 2.0, 3.0]
+
+
+class TestEquality:
+    def test_equal_values(self):
+        a = Tuple(SCHEMA, ["r", "t", 1.0], 1.0)
+        b = Tuple(SCHEMA, ["r", "t", 1.0], 1.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_ts(self):
+        a = Tuple(SCHEMA, ["r", "t", 1.0], 1.0)
+        b = Tuple(SCHEMA, ["r", "t", 1.0], 2.0)
+        assert a != b
+
+    def test_repr_contains_fields(self):
+        text = repr(make())
+        assert "tag_id" in text and "r1" in text

@@ -1,0 +1,164 @@
+"""Unit tests for user-defined aggregates (UDAs) and functions (UDFs)."""
+
+import pytest
+
+from repro.dsms.errors import EslSemanticError, UnknownFunctionError
+from repro.dsms.expressions import BinaryOp, Column, Literal
+from repro.dsms.functions import default_functions
+from repro.dsms.uda import SqlUda, uda_from_callables
+from repro.dsms.udf import UdfRegistry
+
+
+class TestCallableUda:
+    def test_range_aggregate(self):
+        factory = uda_from_callables(
+            "vrange",
+            initialize=lambda: (None, None),
+            iterate=lambda s, v: (
+                v if s[0] is None else min(s[0], v),
+                v if s[1] is None else max(s[1], v),
+            ),
+            terminate=lambda s: None if s[0] is None else s[1] - s[0],
+        )
+        assert factory().compute([3, 9, 1, 7]) == 8
+        assert factory().compute([]) is None
+
+    def test_each_factory_call_fresh(self):
+        factory = uda_from_callables(
+            "acc",
+            initialize=lambda: [],
+            iterate=lambda s, v: (s.append(v), s)[1],
+            terminate=len,
+        )
+        assert factory().compute([1, 2]) == 2
+        assert factory().compute([1]) == 1  # not 3: state did not leak
+
+
+class TestSqlUda:
+    def make_myavg(self):
+        # CREATE AGGREGATE myavg(v): INITIALIZE cnt:=1, total:=v;
+        # ITERATE cnt:=cnt+1, total:=total+v; TERMINATE total/cnt
+        return SqlUda(
+            "myavg",
+            initialize=[("cnt", Literal(1)), ("total", Column("v"))],
+            iterate=[
+                ("cnt", BinaryOp("+", Column("cnt"), Literal(1))),
+                ("total", BinaryOp("+", Column("total"), Column("v"))),
+            ],
+            terminate=BinaryOp("/", Column("total"), Column("cnt")),
+            param="v",
+        )
+
+    def test_average(self):
+        agg = self.make_myavg().factory()()
+        assert agg.compute([2, 4, 6]) == 4
+
+    def test_empty_input_yields_null(self):
+        agg = self.make_myavg().factory()()
+        assert agg.compute([]) is None
+
+    def test_initialize_runs_on_first_value(self):
+        agg = self.make_myavg().factory()()
+        assert agg.compute([10]) == 10
+
+    def test_unknown_state_var_raises(self):
+        from repro.dsms.errors import EslRuntimeError
+
+        uda = SqlUda(
+            "bad",
+            initialize=[("a", Column("missing_var"))],
+            iterate=[],
+            terminate=Column("a"),
+        )
+        agg = uda.factory()()
+        with pytest.raises(EslRuntimeError):
+            agg.compute([1])
+
+    def test_uda_with_functions(self):
+        uda = SqlUda(
+            "maxabs",
+            initialize=[("m", Column("value"))],
+            iterate=[
+                (
+                    "m",
+                    BinaryOp(
+                        "+",
+                        Literal(0),
+                        Column("m"),
+                    ),
+                )
+            ],
+            terminate=Column("m"),
+            functions=default_functions(),
+        )
+        assert uda.factory()().compute([5, 1]) == 5
+
+
+class TestUdfRegistry:
+    def test_register_and_call(self):
+        registry = UdfRegistry()
+        registry.register("double", lambda v: v * 2)
+        assert registry.get("double")(4) == 8
+
+    def test_case_insensitive(self):
+        registry = UdfRegistry()
+        registry.register("MyFn", lambda: 1)
+        assert registry.get("myfn")() == 1
+        assert "MYFN" in registry
+
+    def test_strict_null_propagation(self):
+        registry = UdfRegistry()
+        calls = []
+        registry.register("probe", lambda v: calls.append(v) or "ran")
+        assert registry.get("probe")(None) is None
+        assert calls == []  # not invoked
+
+    def test_non_strict_sees_nulls(self):
+        registry = UdfRegistry()
+        registry.register("nn", lambda v: "saw" if v is None else v, strict=False)
+        assert registry.get("nn")(None) == "saw"
+
+    def test_duplicate_rejected_without_replace(self):
+        registry = UdfRegistry()
+        registry.register("f", lambda: 1)
+        with pytest.raises(EslSemanticError):
+            registry.register("f", lambda: 2)
+
+    def test_replace(self):
+        registry = UdfRegistry()
+        registry.register("f", lambda: 1)
+        registry.register("f", lambda: 2, replace=True)
+        assert registry.get("f")() == 2
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownFunctionError):
+            UdfRegistry().get("nope")
+
+    def test_decorator(self):
+        registry = UdfRegistry()
+
+        @registry.udf()
+        def triple(v):
+            return v * 3
+
+        assert registry.get("triple")(2) == 6
+
+    def test_decorator_custom_name(self):
+        registry = UdfRegistry()
+
+        @registry.udf("x3")
+        def triple(v):
+            return v * 3
+
+        assert registry.get("x3")(3) == 9
+
+    def test_layered_over_builtins(self):
+        registry = UdfRegistry(default_functions())
+        assert registry.get("upper")("x") == "X"
+
+    def test_engine_registration_shadows_builtin(self):
+        from repro.dsms import Engine
+
+        engine = Engine()
+        engine.register_udf("upper", lambda v: "shadowed")
+        assert engine.functions.get("upper")("x") == "shadowed"

@@ -1,0 +1,191 @@
+"""Unit tests for sliding-window specs and buffers."""
+
+import pytest
+
+from repro.dsms.errors import WindowError
+from repro.dsms.schema import Schema
+from repro.dsms.tuples import Tuple
+from repro.dsms.windows import (
+    RangeWindowBuffer,
+    RowsWindowBuffer,
+    WindowSpec,
+    duration_seconds,
+)
+
+SCHEMA = Schema.of("v")
+
+
+def tup(ts, v="x"):
+    return Tuple(SCHEMA, [v], ts)
+
+
+class TestDurations:
+    @pytest.mark.parametrize("amount,unit,expected", [
+        (1, "SECONDS", 1.0),
+        (1, "second", 1.0),
+        (30, "MINUTES", 1800.0),
+        (1, "HOURS", 3600.0),
+        (2, "days", 172800.0),
+        (500, "milliseconds", 0.5),
+    ])
+    def test_conversions(self, amount, unit, expected):
+        assert duration_seconds(amount, unit) == expected
+
+    def test_unknown_unit(self):
+        with pytest.raises(WindowError):
+            duration_seconds(1, "fortnights")
+
+    def test_negative_duration(self):
+        with pytest.raises(WindowError):
+            duration_seconds(-1, "seconds")
+
+
+class TestWindowSpec:
+    def test_defaults(self):
+        spec = WindowSpec("range", 5.0)
+        assert not spec.symmetric
+        assert not spec.include_current
+
+    def test_symmetric(self):
+        spec = WindowSpec("range", 60.0, following=60.0)
+        assert spec.symmetric
+
+    def test_rows_cannot_follow(self):
+        with pytest.raises(WindowError):
+            WindowSpec("rows", 5, following=1.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(WindowError):
+            WindowSpec("sliding", 5)
+
+    def test_make_buffer_range(self):
+        buffer = WindowSpec("range", 5.0).make_buffer()
+        assert isinstance(buffer, RangeWindowBuffer)
+        assert buffer.duration == 5.0
+
+    def test_make_buffer_symmetric_extends_retention(self):
+        buffer = WindowSpec("range", 5.0, following=3.0).make_buffer()
+        assert buffer.duration == 8.0
+
+    def test_make_buffer_rows(self):
+        buffer = WindowSpec("rows", 10).make_buffer()
+        assert isinstance(buffer, RowsWindowBuffer)
+        assert buffer.capacity == 10
+
+    def test_make_buffer_unbounded(self):
+        buffer = WindowSpec("range", None).make_buffer()
+        assert buffer.duration is None
+
+    def test_equality(self):
+        assert WindowSpec("range", 5.0) == WindowSpec("range", 5.0)
+        assert WindowSpec("range", 5.0) != WindowSpec("range", 6.0)
+
+
+class TestRangeBuffer:
+    def test_append_and_iterate(self):
+        buffer = RangeWindowBuffer(10.0)
+        for ts in (1.0, 2.0, 3.0):
+            buffer.append(tup(ts))
+        assert [t.ts for t in buffer] == [1.0, 2.0, 3.0]
+
+    def test_eviction_on_append(self):
+        buffer = RangeWindowBuffer(2.0)
+        buffer.append(tup(1.0))
+        buffer.append(tup(2.0))
+        buffer.append(tup(5.0))  # evicts ts < 3.0
+        assert [t.ts for t in buffer] == [5.0]
+
+    def test_boundary_tuple_retained(self):
+        buffer = RangeWindowBuffer(2.0)
+        buffer.append(tup(1.0))
+        buffer.append(tup(3.0))  # cutoff = 1.0; ts=1.0 not strictly older
+        assert len(buffer) == 2
+
+    def test_unbounded_never_evicts(self):
+        buffer = RangeWindowBuffer(None)
+        for ts in range(100):
+            buffer.append(tup(float(ts)))
+        assert len(buffer) == 100
+
+    def test_explicit_evict(self):
+        buffer = RangeWindowBuffer(2.0)
+        buffer.append(tup(1.0))
+        dropped = buffer.evict(now=10.0)
+        assert dropped == 1
+        assert len(buffer) == 0
+
+    def test_tuples_between(self):
+        buffer = RangeWindowBuffer(None)
+        for ts in (1.0, 2.0, 3.0, 4.0):
+            buffer.append(tup(ts))
+        assert [t.ts for t in buffer.tuples_between(2.0, 3.0)] == [2.0, 3.0]
+
+    def test_tuples_preceding_excludes_anchor_by_default(self):
+        buffer = RangeWindowBuffer(None)
+        first = tup(1.0)
+        anchor = tup(1.5)
+        buffer.append(first)
+        buffer.append(anchor)
+        got = list(buffer.tuples_preceding(anchor, 1.0))
+        assert got == [first]
+
+    def test_tuples_preceding_include_anchor(self):
+        buffer = RangeWindowBuffer(None)
+        anchor = tup(1.0)
+        buffer.append(anchor)
+        assert list(buffer.tuples_preceding(anchor, 1.0, include_anchor=True)) == [
+            anchor
+        ]
+
+    def test_tuples_preceding_respects_duration(self):
+        buffer = RangeWindowBuffer(None)
+        old = tup(0.0)
+        recent = tup(4.5)
+        anchor = tup(5.0)
+        for t in (old, recent, anchor):
+            buffer.append(t)
+        assert list(buffer.tuples_preceding(anchor, 1.0)) == [recent]
+
+    def test_tuples_preceding_ignores_later_tuples(self):
+        buffer = RangeWindowBuffer(None)
+        anchor = tup(5.0)
+        later = tup(6.0)
+        buffer.append(anchor)
+        buffer.append(later)
+        assert list(buffer.tuples_preceding(later, 10.0)) == [anchor]
+        assert list(buffer.tuples_preceding(anchor, 10.0)) == []
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(WindowError):
+            RangeWindowBuffer(-1.0)
+
+    def test_clear(self):
+        buffer = RangeWindowBuffer(None)
+        buffer.append(tup(1.0))
+        buffer.clear()
+        assert len(buffer) == 0
+
+
+class TestRowsBuffer:
+    def test_capacity_enforced(self):
+        buffer = RowsWindowBuffer(2)
+        for ts in (1.0, 2.0, 3.0):
+            buffer.append(tup(ts))
+        assert [t.ts for t in buffer] == [2.0, 3.0]
+
+    def test_zero_capacity(self):
+        buffer = RowsWindowBuffer(0)
+        buffer.append(tup(1.0))
+        assert len(buffer) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(WindowError):
+            RowsWindowBuffer(-1)
+
+    def test_tuples_preceding(self):
+        buffer = RowsWindowBuffer(5)
+        first = tup(1.0)
+        anchor = tup(2.0)
+        buffer.append(first)
+        buffer.append(anchor)
+        assert list(buffer.tuples_preceding(anchor)) == [first]
