@@ -1,13 +1,23 @@
 """Benchmark support: metrics and the shared result-table harness."""
 
-from .harness import ResultTable, Timed, sweep
+from .harness import (
+    BenchReport,
+    ResultTable,
+    Timed,
+    measure_latencies,
+    percentile,
+    sweep,
+)
 from .metrics import Accuracy, containment_accuracy, summarize_rows, throughput
 
 __all__ = [
     "Accuracy",
+    "BenchReport",
     "ResultTable",
     "Timed",
     "containment_accuracy",
+    "measure_latencies",
+    "percentile",
     "summarize_rows",
     "sweep",
     "throughput",

@@ -1,16 +1,26 @@
-"""Benchmark harness: consistent row/series printing.
+"""Benchmark harness: consistent row/series printing and JSON reports.
 
 The paper has no measurement tables of its own (it is a language-design
 paper), so the harness defines the house format every experiment reports
 in: a named experiment, parameter columns, and measured columns — printed
 as an aligned text table so ``pytest benchmarks/ --benchmark-only -s``
 reads like an evaluation section.
+
+For tracking performance over time, :class:`BenchReport` writes the same
+measurements machine-readably as ``BENCH_<name>.json`` in the repository
+root (or a caller-chosen directory): per-experiment throughput in
+tuples/s, p50/p99 per-tuple latency in microseconds, and operator state
+size, plus free-form parameters.  CI archives these files so perf
+trajectories survive across runs.
 """
 
 from __future__ import annotations
 
+import json
+import math
+import os
 import time
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 
 class ResultTable:
@@ -84,3 +94,114 @@ def sweep(values: Iterable[Any], fn: Callable[[Any], Sequence[Any]],
     for value in values:
         table.add(*fn(value))
     return table
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0..100) with linear interpolation.
+
+    Matches ``statistics.quantiles(..., method='inclusive')`` at interior
+    points and clamps to min/max at the ends, so p50 of two samples is
+    their mean and p99 of a small sample set is (close to) its max.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[lower]
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+class BenchReport:
+    """Accumulates experiments and writes them as ``BENCH_<name>.json``.
+
+    Each experiment is one measured configuration: a label, its
+    parameters, and the house metrics — throughput (tuples/s), p50/p99
+    per-tuple latency (µs, from a list of per-tuple seconds), and state
+    size (resident operator state after the run, in whatever unit the
+    benchmark defines — typically retained tuples).
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, name: str, meta: Mapping[str, Any] | None = None) -> None:
+        self.name = name
+        self.meta = dict(meta or {})
+        self.experiments: list[dict[str, Any]] = []
+
+    def add_experiment(
+        self,
+        label: str,
+        *,
+        n_tuples: int,
+        seconds: float,
+        latencies_s: Sequence[float] | None = None,
+        state_size: int | None = None,
+        params: Mapping[str, Any] | None = None,
+        **extra: Any,
+    ) -> dict[str, Any]:
+        """Record one configuration; returns the entry (already appended)."""
+        entry: dict[str, Any] = {
+            "label": label,
+            "n_tuples": int(n_tuples),
+            "seconds": float(seconds),
+            "throughput_tuples_per_s": (
+                n_tuples / seconds if seconds > 0 else 0.0
+            ),
+        }
+        if latencies_s:
+            entry["latency_us"] = {
+                "p50": percentile(latencies_s, 50.0) * 1e6,
+                "p99": percentile(latencies_s, 99.0) * 1e6,
+                "max": max(latencies_s) * 1e6,
+                "samples": len(latencies_s),
+            }
+        if state_size is not None:
+            entry["state_size"] = int(state_size)
+        if params:
+            entry["params"] = dict(params)
+        entry.update(extra)
+        self.experiments.append(entry)
+        return entry
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.SCHEMA_VERSION,
+            "name": self.name,
+            "meta": self.meta,
+            "experiments": self.experiments,
+        }
+
+    def write(self, directory: str | None = None) -> str:
+        """Write ``BENCH_<name>.json`` into *directory* (default: cwd)."""
+        payload = self.as_dict()
+        target = os.path.join(directory or os.getcwd(), f"BENCH_{self.name}.json")
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return target
+
+
+def measure_latencies(
+    push_one: Callable[[], Any], n: int
+) -> list[float]:
+    """Call *push_one* *n* times, returning per-call wall-clock seconds.
+
+    A helper for per-tuple latency sampling: the caller binds the record
+    iterator into ``push_one`` and this loop times each delivery
+    individually (distinct from throughput runs, which time the batch)."""
+    clock = time.perf_counter
+    out = []
+    append = out.append
+    for _ in range(n):
+        start = clock()
+        push_one()
+        append(clock() - start)
+    return out

@@ -29,7 +29,15 @@ from ...dsms.errors import (
     EslSemanticError,
     SchemaError,
 )
-from ...dsms.expressions import Column, Env, Expression, Literal, truthy
+from ...dsms.expressions import (
+    Column,
+    CompileContext,
+    Env,
+    EvalFn,
+    Expression,
+    Literal,
+    truthy,
+)
 from ...dsms.schema import Schema, TYPE_NAMES, FieldType
 from ...dsms.streams import Stream
 from ...dsms.table import Table
@@ -46,6 +54,7 @@ from ..operators import (
     make_sequence_operator,
 )
 from ..operators.exception_seq import SequenceOutcome
+from ..operators.guards import build_compiled_guard
 from .analyzer import (
     Analysis,
     ClevelThreshold,
@@ -260,6 +269,19 @@ class _Sink:
             assert self.collector is not None
             self.collector(Tuple(self.schema, values, ts))
 
+    def bound_emit(self) -> Callable[[Sequence[Any], float], None]:
+        """The emit path with the target decision made once, at wiring time."""
+        if self.table is not None or self.stream is not None:
+            return self.emit
+        schema = self.schema
+        collector = self.collector
+        assert collector is not None
+
+        def emit(values: Sequence[Any], ts: float) -> None:
+            collector(Tuple(schema, values, ts))
+
+        return emit
+
 
 def _unique_names(raw: Sequence[str]) -> list[str]:
     seen: dict[str, int] = {}
@@ -345,16 +367,56 @@ def _eval_term_lenient(term: Expression, env: Env) -> bool:
         return True
 
 
+def _source_schema(engine: Engine, source: Any) -> Schema:
+    if source.is_stream:
+        return engine.streams.get(source.name).schema
+    return engine.tables.get(source.name).schema
+
+
+def _compile_ctx(
+    engine: Engine,
+    analysis: Analysis | None = None,
+    extra: Mapping[str, Schema] | None = None,
+) -> CompileContext | None:
+    """The query's :class:`CompileContext`, or None when the engine was
+    created with ``compile_expressions=False`` (interpreted ablation arm).
+
+    The context carries the engine's live UDF mapping and every FROM alias's
+    schema, so column references lower to positional access.
+    """
+    if not engine.compile_expressions:
+        return None
+    schemas: dict[str, Schema] = {}
+    if analysis is not None:
+        for source in analysis.sources:
+            schemas[source.alias.lower()] = _source_schema(engine, source)
+    if extra:
+        for alias, schema in extra.items():
+            schemas[alias.lower()] = schema
+    return CompileContext(engine.functions.as_mapping(), schemas)
+
+
+def _term_evaluators(
+    terms: Sequence[Expression], ctx: CompileContext | None
+) -> list[EvalFn]:
+    """Closures for *terms*: compiled under *ctx*, else the eval methods."""
+    if ctx is None:
+        return [term.eval for term in terms]
+    return [term.compile(ctx) for term in terms]
+
+
 def _compile_where_probe(
     engine: Engine,
     terms: Sequence[Expression],
     exists_probes: Sequence[Callable[[Env], bool]],
+    ctx: CompileContext | None = None,
 ) -> Callable[[Env], bool]:
     """A strict WHERE evaluator over residual terms plus compiled EXISTS."""
+    fns = _term_evaluators(terms, ctx)
 
     def check(env: Env) -> bool:
-        for term in terms:
-            if not truthy(term.eval(env)):
+        for fn in fns:
+            if fn(env) is not True:  # strict: NULL counts as false
                 return False
         for probe in exists_probes:
             if not probe(env):
@@ -386,44 +448,76 @@ def _compile_exists_probe(
     exists: ExistsPredicate,
     outer_alias: str | None,
     teardowns: list[Callable[[], None]],
+    ctx: CompileContext | None = None,
 ) -> Callable[[Env], bool]:
     """Compile EXISTS/NOT EXISTS into a synchronous probe.
 
     Supports: table sub-queries (correlated, Example 2), and windowed stream
     sub-queries anchored at the current outer tuple (Example 1).  Symmetric
     windows never reach here (handled by :func:`_compile_symmetric`).
+
+    The probe loops candidates against one reused child Env (sub-query
+    evaluation is synchronous, so rebinding is safe), with the inner WHERE
+    terms compiled under *ctx* extended by the sub-query alias's schema.
     """
     inner = exists.query
     if len(inner.from_items) != 1:
         raise EslSemanticError("EXISTS sub-queries must have a single FROM item")
     item = inner.from_items[0]
+    inner_key = item.alias.lower()
+    is_table = item.name in engine.tables
+    if not is_table and item.name not in engine.streams:
+        raise EslSemanticError(f"unknown stream or table {item.name!r} in EXISTS")
+    inner_schema = (
+        engine.tables.get(item.name).schema
+        if is_table
+        else engine.streams.get(item.name).schema
+    )
+    inner_ctx = (
+        None
+        if ctx is None
+        else CompileContext(ctx.functions, {**ctx.schemas, inner_key: inner_schema})
+    )
     inner_terms = list(iter_and_terms(inner.where))
     nested = [t for t in inner_terms if isinstance(t, ExistsPredicate)]
     plain = [t for t in inner_terms if not isinstance(t, ExistsPredicate)]
     nested_probes = [
-        _compile_exists_probe(engine, sub, outer_alias, teardowns)
+        _compile_exists_probe(engine, sub, outer_alias, teardowns, inner_ctx)
         for sub in nested
     ]
     if any(isinstance(t, SeqPredicate) for t in plain):
         raise EslSemanticError("temporal operators are not allowed in EXISTS")
+    plain_fns = _term_evaluators(plain, inner_ctx)
+    negate = exists.negate
 
-    if item.name in engine.tables:
+    def scan(env: Env, candidates: Any) -> bool:
+        child = env.child({})
+        bindings = child.bindings
+        for candidate in candidates:
+            bindings[inner_key] = candidate
+            qualified = True
+            for fn in plain_fns:
+                if fn(child) is not True:
+                    qualified = False
+                    break
+            if qualified:
+                for probe in nested_probes:
+                    if not probe(child):
+                        qualified = False
+                        break
+            if qualified:
+                return not negate
+        return negate
+
+    if is_table:
         table = engine.tables.get(item.name)
 
         def table_probe(env: Env) -> bool:
-            for row_tuple in table.as_tuples():
-                child = env.child({item.alias.lower(): row_tuple})
-                if all(truthy(t.eval(child)) for t in plain) and all(
-                    probe(child) for probe in nested_probes
-                ):
-                    return not exists.negate
-            return exists.negate
+            return scan(env, table.as_tuples())
 
         return table_probe
 
     # Stream sub-query: needs a window (unbounded stream scans are rejected).
-    if item.name not in engine.streams:
-        raise EslSemanticError(f"unknown stream or table {item.name!r} in EXISTS")
     window = item.window
     if window is None:
         raise EslSemanticError(
@@ -449,33 +543,23 @@ def _compile_exists_probe(
         buffer = RangeWindowBuffer(window.preceding)
     teardowns.append(stream.subscribe(buffer.append))
     duration = window.preceding if window.preceding is not None else float("inf")
+    anchor_name = window.anchor if window.anchor != "CURRENT" else outer_alias
+    is_range = isinstance(buffer, RangeWindowBuffer)
 
     def stream_probe(env: Env) -> bool:
-        anchor_name = (
-            window.anchor if window.anchor != "CURRENT" else outer_alias
-        )
         if anchor_name is None:
             raise EslRuntimeError(
                 "windowed EXISTS needs an outer stream tuple to anchor on"
             )
         anchor = env.lookup_alias(anchor_name)
-        if isinstance(buffer, RangeWindowBuffer):
-            candidates = list(
-                buffer.tuples_preceding(anchor, duration, include_anchor=False)
+        if is_range:
+            candidates: Any = buffer.tuples_preceding(
+                anchor, duration, include_anchor=False
             )
         else:
-            candidates = list(
-                buffer.tuples_preceding(anchor, include_anchor=False)
-            )
-            if row_limit is not None:
-                candidates = candidates[-row_limit:] if row_limit else []
-        for candidate in candidates:
-            child = env.child({item.alias.lower(): candidate})
-            if all(truthy(t.eval(child)) for t in plain) and all(
-                probe(child) for probe in nested_probes
-            ):
-                return not exists.negate
-        return exists.negate
+            held = list(buffer.tuples_preceding(anchor, include_anchor=False))
+            candidates = held[-row_limit:] if row_limit else []
+        return scan(env, candidates)
 
     return stream_probe
 
@@ -505,12 +589,17 @@ def _compile_filter(engine: Engine, analysis: Analysis, label: str) -> QueryHand
     schema = _select_schema(items)
     sink = _Sink(engine, statement.insert_into, schema, label)
     teardowns: list[Callable[[], None]] = []
+    ctx = _compile_ctx(engine, analysis)
     exists_probes = [
-        _compile_exists_probe(engine, ex, source.alias, teardowns)
+        _compile_exists_probe(engine, ex, source.alias, teardowns, ctx)
         for ex in analysis.exists_terms
     ]
-    check = _compile_where_probe(engine, analysis.guard_terms, exists_probes)
+    check = _compile_where_probe(engine, analysis.guard_terms, exists_probes, ctx)
+    item_fns = _term_evaluators([item.expr for item in items], ctx)
     stream = engine.streams.get(source.name)
+    functions = engine.functions.as_mapping()
+    source_key = source.alias.lower()
+    emit = sink.emit
 
     def bind_tables(env: Env, depth: int) -> Any:
         """Nested-loop the table sources; yields fully-bound envs."""
@@ -524,13 +613,23 @@ def _compile_filter(engine: Engine, analysis: Analysis, label: str) -> QueryHand
             yield from bind_tables(env, depth + 1)
         env.bindings.pop(table_source.alias.lower(), None)
 
-    def on_tuple(tup: Tuple) -> None:
-        base = _make_env(engine, {source.alias: tup})
-        for env in bind_tables(base, 0):
-            if not check(env):
-                continue
-            values = [item.expr.eval(env) for item in items]
-            sink.emit(values, tup.ts)
+    if table_sources:
+
+        def on_tuple(tup: Tuple) -> None:
+            base = Env({source_key: tup}, functions)
+            for env in bind_tables(base, 0):
+                if not check(env):
+                    continue
+                emit([fn(env) for fn in item_fns], tup.ts)
+
+    else:
+        # Single-stream hot path: one fresh Env per tuple (an Env must not
+        # outlive the tuple it binds — sinks may re-enter this pipeline),
+        # no generator frame.
+        def on_tuple(tup: Tuple) -> None:
+            env = Env({source_key: tup}, functions)
+            if check(env):
+                emit([fn(env) for fn in item_fns], tup.ts)
 
     teardowns.append(stream.subscribe(on_tuple))
     handle = QueryHandle(engine, label, sink.stream, sink.collector, teardowns)
@@ -673,13 +772,15 @@ def _compile_aggregate(engine: Engine, analysis: Analysis, label: str) -> QueryH
     schema = _select_schema(items)
     sink = _Sink(engine, statement.insert_into, schema, label)
     teardowns: list[Callable[[], None]] = []
+    ctx = _compile_ctx(engine, analysis)
     exists_probes = [
-        _compile_exists_probe(engine, ex, source.alias, teardowns)
+        _compile_exists_probe(engine, ex, source.alias, teardowns, ctx)
         for ex in analysis.exists_terms
     ]
-    check = _compile_where_probe(engine, analysis.guard_terms, exists_probes)
+    check = _compile_where_probe(engine, analysis.guard_terms, exists_probes, ctx)
     stream = engine.streams.get(source.name)
     group_exprs = list(statement.group_by)
+    group_fns = _term_evaluators(group_exprs, ctx)
 
     window = source.item.window
     window_buffer: RangeWindowBuffer | RowsWindowBuffer | None = None
@@ -697,9 +798,9 @@ def _compile_aggregate(engine: Engine, analysis: Analysis, label: str) -> QueryH
     groups: dict[Any, _AggState] = {}
 
     def group_key(env: Env) -> Any:
-        if not group_exprs:
+        if not group_fns:
             return None
-        return tuple(expr.eval(env) for expr in group_exprs)
+        return tuple(fn(env) for fn in group_fns)
 
     def emit_row(env: Env, agg_values: Sequence[Any], ts: float) -> None:
         for slot, value in zip(slot_list, agg_values):
@@ -758,11 +859,12 @@ def _compile_table_query(
     schema = _select_schema(items)
     sink = _Sink(engine, statement.insert_into, schema, label)
     teardowns: list[Callable[[], None]] = []
+    ctx = _compile_ctx(engine, analysis)
     exists_probes = [
-        _compile_exists_probe(engine, ex, None, teardowns)
+        _compile_exists_probe(engine, ex, None, teardowns, ctx)
         for ex in analysis.exists_terms
     ]
-    check = _compile_where_probe(engine, analysis.guard_terms, exists_probes)
+    check = _compile_where_probe(engine, analysis.guard_terms, exists_probes, ctx)
 
     def bind(depth: int, env: Env) -> Any:
         if depth == len(analysis.sources):
@@ -843,19 +945,26 @@ def _compile_symmetric(
     items = _resolved_items(analysis, engine)
     schema = _select_schema(items)
     sink = _Sink(engine, statement.insert_into, schema, label)
-    guard_terms = analysis.guard_terms
+    inner_stream_schema = engine.streams.get(item.name).schema
+    ctx = _compile_ctx(engine, analysis, {item.alias: inner_stream_schema})
+    outer_fns = _term_evaluators(analysis.guard_terms, ctx)
+    inner_fns = _term_evaluators(inner_terms, ctx)
+    item_fns = _term_evaluators([sel.expr for sel in items], ctx)
+    functions = engine.functions.as_mapping()
+    outer_key = source.alias.lower()
+    inner_key = item.alias.lower()
 
     def outer_where(tup: Tuple) -> bool:
-        env = _make_env(engine, {source.alias: tup})
-        return all(truthy(t.eval(env)) for t in guard_terms)
+        env = Env({outer_key: tup}, functions)
+        return all(fn(env) is True for fn in outer_fns)
 
     def inner_where(candidate: Tuple, outer: Tuple) -> bool:
-        env = _make_env(engine, {source.alias: outer, item.alias: candidate})
-        return all(truthy(t.eval(env)) for t in inner_terms)
+        env = Env({outer_key: outer, inner_key: candidate}, functions)
+        return all(fn(env) is True for fn in inner_fns)
 
     def on_result(outer: Tuple, decided_at: float) -> None:
-        env = _make_env(engine, {source.alias: outer})
-        sink.emit([sel.expr.eval(env) for sel in items], decided_at)
+        env = Env({outer_key: outer}, functions)
+        sink.emit([fn(env) for fn in item_fns], decided_at)
 
     operator = SymmetricExistsOperator(
         engine,
@@ -882,7 +991,10 @@ def _compile_symmetric(
 
 
 def _build_seq_args(
-    engine: Engine, analysis: Analysis, predicate: SeqPredicate
+    engine: Engine,
+    analysis: Analysis,
+    predicate: SeqPredicate,
+    ctx: CompileContext | None = None,
 ) -> list[SeqArg]:
     args: list[SeqArg] = []
     gap_terms_by_alias: dict[str, list[Expression]] = {}
@@ -922,11 +1034,14 @@ def _build_seq_args(
             def make_check(
                 terms: Sequence[Expression], alias: str
             ) -> Callable[[Tuple, Tuple], bool]:
+                fns = _term_evaluators(terms, ctx)
+                prev_key = f"{alias}.previous"
+                # One scratch Env, rebound per call: gap checks never nest.
+                env = Env(functions=functions)
+
                 def gap_check(prev: Tuple, cur: Tuple) -> bool:
-                    env = Env(functions=functions)
-                    env.bindings[alias] = cur
-                    env.bindings[f"{alias}.previous"] = prev
-                    return all(truthy(term.eval(env)) for term in terms)
+                    env.bindings = {alias: cur, prev_key: prev}
+                    return all(fn(env) is True for fn in fns)
 
                 return gap_check
 
@@ -959,10 +1074,21 @@ def _build_window(
 
 
 def _make_guard(
-    engine: Engine, guard_terms: Sequence[Expression]
+    engine: Engine,
+    guard_terms: Sequence[Expression],
+    ctx: CompileContext | None = None,
+    arg_aliases: Sequence[str] = (),
 ) -> Callable[[Mapping[str, Any]], bool] | None:
+    """The operator guard for the residual WHERE conjuncts.
+
+    Compiled engines get a :class:`~repro.core.operators.guards.CompiledGuard`
+    (single-alias conjuncts decided at admission time, cross-alias ones at
+    pairing time); interpreted engines get the lenient closure over eval().
+    """
     if not guard_terms:
         return None
+    if ctx is not None:
+        return build_compiled_guard(guard_terms, ctx, arg_aliases)
     functions = engine.functions.as_mapping()
 
     def guard(bindings: Mapping[str, Any]) -> bool:
@@ -985,15 +1111,37 @@ def _compile_temporal(engine: Engine, analysis: Analysis, label: str) -> QueryHa
         raise EslSemanticError(
             "EXISTS sub-queries cannot be combined with temporal operators"
         )
-    args = _build_seq_args(engine, analysis, predicate)
+    ctx = _compile_ctx(engine, analysis)
+    args = _build_seq_args(engine, analysis, predicate, ctx)
     window = _build_window(predicate, args)
-    guard = _make_guard(engine, analysis.guard_terms)
+    guard = _make_guard(
+        engine, analysis.guard_terms, ctx, [arg.alias for arg in args]
+    )
     partition_by = None
     if analysis.partition_field is not None:
         field = analysis.partition_field
+        schemas = [engine.streams.get(arg.stream).schema for arg in args]
+        unique = []
+        for s in schemas:
+            if not any(s is seen for seen in unique):
+                unique.append(s)
+        if ctx is not None and all(field in s for s in unique):
+            # Every argument stream's schema carries the partition field:
+            # route on a positional read keyed by schema identity (id() of
+            # objects the streams keep alive), falling back to name lookup
+            # for pass-through tuples from elsewhere.
+            position_of = {id(s): s.position(field) for s in unique}.get
 
-        def partition_by(tup: Tuple) -> Any:  # noqa: F811
-            return tup.get(field)
+            def partition_by(tup: Tuple) -> Any:
+                position = position_of(id(tup.schema))
+                if position is not None:
+                    return tup.values[position]
+                return tup.get(field)
+
+        else:
+
+            def partition_by(tup: Tuple) -> Any:  # noqa: F811
+                return tup.get(field)
 
     items = _resolved_items_temporal(analysis, engine, args)
     schema = _select_schema(items)
@@ -1002,11 +1150,11 @@ def _compile_temporal(engine: Engine, analysis: Analysis, label: str) -> QueryHa
     if predicate.op_name == "SEQ":
         return _wire_seq(
             engine, analysis, predicate, args, window, guard, partition_by,
-            items, sink, label,
+            items, sink, label, ctx,
         )
     return _wire_exception_seq(
         engine, analysis, predicate, args, window, guard, partition_by,
-        items, sink, label,
+        items, sink, label, ctx,
     )
 
 
@@ -1041,6 +1189,51 @@ def _eval_item(item: SelectItem, env: Env) -> Any:
         return None
 
 
+def _eval_items(fns: Sequence[EvalFn], env: Env) -> list[Any]:
+    """Evaluate compiled select items with the same NULL-for-unbound rule."""
+    values: list[Any] = []
+    for fn in fns:
+        try:
+            values.append(fn(env))
+        except EslRuntimeError:
+            values.append(None)
+    return values
+
+
+def _column_extraction_plan(
+    engine: Engine,
+    args: Sequence[SeqArg],
+    items: Sequence[SelectItem],
+    ctx: CompileContext | None,
+    multi_alias: str | None,
+) -> list[tuple[str, int]] | None:
+    """A direct positional plan for an all-Column SEQ select list, or None.
+
+    Returns ``[(binding_key, position), ...]`` — one entry per item — when
+    compiled execution is on, no item needs a star run, and every item is
+    an ``alias.field`` read on a star-free operator argument whose stream
+    schema carries the field.  Anything else (expressions, bare columns,
+    star aliases) falls back to the general Env-based evaluation.
+    """
+    if ctx is None or multi_alias is not None:
+        return None
+    by_alias: dict[str, tuple[str, Any]] = {}
+    for arg in args:
+        if not arg.starred:
+            schema = engine.streams.get(arg.stream).schema
+            by_alias[arg.alias.lower()] = (arg.alias, schema)
+    plan: list[tuple[str, int]] = []
+    for item in items:
+        expr = item.expr
+        if type(expr) is not Column or expr.alias is None:
+            return None
+        entry = by_alias.get(expr.alias.lower())
+        if entry is None or expr.field not in entry[1]:
+            return None
+        plan.append((entry[0], entry[1].position(expr.field)))
+    return plan
+
+
 def _wire_seq(
     engine: Engine,
     analysis: Analysis,
@@ -1052,6 +1245,7 @@ def _wire_seq(
     items: list[SelectItem],
     sink: _Sink,
     label: str,
+    ctx: CompileContext | None = None,
 ) -> QueryHandle:
     mode = (
         PairingMode.parse(predicate.mode)
@@ -1059,18 +1253,37 @@ def _wire_seq(
         else PairingMode.UNRESTRICTED
     )
     multi_alias = analysis.multi_return_alias
+    item_fns = _term_evaluators([item.expr for item in items], ctx)
+    functions = engine.functions.as_mapping()
+    emit = sink.bound_emit()
 
-    def on_match(match: SeqMatch) -> None:
-        env = _make_env(
-            engine, {alias: bound for alias, bound in match.bindings.items()}
-        )
-        if multi_alias is not None:
-            run = match.run_for(multi_alias)
-            for tup in run:
-                child = env.child({multi_alias: tup})
-                sink.emit([_eval_item(item, child) for item in items], match.ts)
-            return
-        sink.emit([_eval_item(item, env) for item in items], match.ts)
+    plan = _column_extraction_plan(engine, args, items, ctx, multi_alias)
+    if plan is not None:
+        # Every select item is a plain alias.field read on a star-free
+        # argument: extract positionally from the match bindings.  A
+        # star-free SEQ match always binds every alias, and any tuple bound
+        # for an alias was delivered on that alias's stream, whose push
+        # contract guarantees an equal schema — hence an identical field
+        # layout — so the positional read needs no per-match checks.
+
+        def on_match(match: SeqMatch) -> None:
+            bound = match.bindings
+            emit([bound[key].values[pos] for key, pos in plan], match.ts)
+
+    else:
+
+        def on_match(match: SeqMatch) -> None:  # noqa: F811
+            env = Env(functions=functions)
+            bindings = env.bindings
+            for alias, bound in match.bindings.items():
+                bindings[alias.lower()] = bound
+            if multi_alias is not None:
+                run = match.run_for(multi_alias)
+                for tup in run:
+                    child = env.child({multi_alias: tup})
+                    emit(_eval_items(item_fns, child), match.ts)
+                return
+            emit(_eval_items(item_fns, env), match.ts)
 
     operator = make_sequence_operator(
         engine,
@@ -1080,6 +1293,10 @@ def _wire_seq(
         guard=guard,
         partition_by=partition_by,
         on_match=on_match,
+        # The query consumes matches through on_match/sink; retaining every
+        # SeqMatch on the operator would grow without bound on a
+        # continuous query.
+        store_matches=False,
     )
     handle = QueryHandle(
         engine, label, sink.stream, sink.collector, [operator.stop]
@@ -1099,6 +1316,7 @@ def _wire_exception_seq(
     items: list[SelectItem],
     sink: _Sink,
     label: str,
+    ctx: CompileContext | None = None,
 ) -> QueryHandle:
     clevel: ClevelThreshold | None = analysis.clevel
     n = len(args)
@@ -1107,6 +1325,10 @@ def _wire_exception_seq(
         if predicate.mode is not None
         else PairingMode.CONSECUTIVE
     )
+    item_fns = _term_evaluators([item.expr for item in items], ctx)
+    functions = engine.functions.as_mapping()
+    alias_keys = [arg.alias.lower() for arg in args]
+    starred = [arg.starred for arg in args]
 
     def accepts(level: int) -> bool:
         if clevel is not None:
@@ -1116,11 +1338,11 @@ def _wire_exception_seq(
     def on_outcome(outcome: SequenceOutcome) -> None:
         if not accepts(outcome.level):
             return
-        bindings: dict[str, Any] = {}
-        for arg, run in zip(args, outcome.runs):
-            bindings[arg.alias] = list(run) if arg.starred else run[-1]
-        env = _make_env(engine, bindings)
-        sink.emit([_eval_item(item, env) for item in items], outcome.ts)
+        env = Env(functions=functions)
+        bindings = env.bindings
+        for key, is_star, run in zip(alias_keys, starred, outcome.runs):
+            bindings[key] = list(run) if is_star else run[-1]
+        sink.emit(_eval_items(item_fns, env), outcome.ts)
 
     operator = ExceptionSeqOperator(
         engine,
@@ -1160,8 +1382,8 @@ def execute_snapshot(engine: Engine, text: str) -> list[dict[str, Any]]:
     if statement.insert_into is not None:
         raise EslSemanticError("snapshot queries cannot INSERT")
 
-    # Resolve sources to materialized tuple lists.
-    sources: list[tuple[str, list[Tuple]]] = []
+    # Resolve sources to (alias, materialized tuples, declared schema).
+    sources: list[tuple[str, list[Tuple], Schema]] = []
     for item in statement.from_items:
         if item.window is not None:
             raise EslSemanticError(
@@ -1170,19 +1392,30 @@ def execute_snapshot(engine: Engine, text: str) -> list[dict[str, Any]]:
             )
         if item.name in engine.streams:
             view = engine.history(item.name)
-            sources.append((item.alias, view.current()))
+            schema = engine.streams.get(item.name).schema
+            sources.append((item.alias, view.current(), schema))
         elif item.name in engine.tables:
             table = engine.tables.get(item.name)
-            sources.append((item.alias, list(table.as_tuples(ts=engine.now))))
+            sources.append(
+                (item.alias, list(table.as_tuples(ts=engine.now)), table.schema)
+            )
         else:
             raise EslSemanticError(
                 f"unknown stream or table {item.name!r} in snapshot FROM"
             )
     alias_seen: set[str] = set()
-    for alias, __ in sources:
+    for alias, __, __schema in sources:
         if alias.lower() in alias_seen:
             raise EslSemanticError(f"duplicate FROM alias {alias!r}")
         alias_seen.add(alias.lower())
+    ctx = (
+        CompileContext(
+            engine.functions.as_mapping(),
+            {alias: schema for alias, __, schema in sources},
+        )
+        if engine.compile_expressions
+        else None
+    )
 
     # Classify WHERE.
     plain_terms: list[Expression] = []
@@ -1201,13 +1434,13 @@ def execute_snapshot(engine: Engine, text: str) -> list[dict[str, Any]]:
                     "snapshot EXISTS sub-queries must read tables"
                 )
             exists_probes.append(
-                _compile_exists_probe(engine, term, None, throwaway)
+                _compile_exists_probe(engine, term, None, throwaway, ctx)
             )
             continue
         plain_terms.append(term)
     for undo in throwaway:
         undo()  # table probes never subscribe, but be safe
-    check = _compile_where_probe(engine, plain_terms, exists_probes)
+    check = _compile_where_probe(engine, plain_terms, exists_probes, ctx)
 
     # Select items (promote aggregates against the engine registries).
     from .analyzer import promote_aggregates
@@ -1215,23 +1448,11 @@ def execute_snapshot(engine: Engine, text: str) -> list[dict[str, Any]]:
     if statement.select_star:
         items = []
         many = len(sources) > 1
-        for alias, tuples in sources:
-            schema = None
-            if tuples:
-                schema = tuples[0].schema
-            elif alias.lower() in engine.streams:
-                schema = engine.streams.get(alias).schema
-            if schema is None and alias in engine.streams:
-                schema = engine.streams.get(alias).schema
-            if schema is None:
-                # Fall back to the declared schema by FROM name.
-                for item in statement.from_items:
-                    if item.alias == alias:
-                        if item.name in engine.streams:
-                            schema = engine.streams.get(item.name).schema
-                        else:
-                            schema = engine.tables.get(item.name).schema
-            assert schema is not None
+        # Expand from the declared schema of each FROM item — resolved by
+        # FROM *name* at source-binding time, never by alias (an alias that
+        # happens to collide with another stream's name must not change the
+        # expansion).
+        for alias, __tuples, schema in sources:
             for field in schema.names:
                 name = f"{alias}_{field}" if many else field
                 items.append(SelectItem(Column(field, alias=alias), name))
@@ -1259,7 +1480,7 @@ def execute_snapshot(engine: Engine, text: str) -> list[dict[str, Any]]:
                 if check(env):
                     yield env
                 return
-            alias, tuples = sources[depth]
+            alias, tuples, __schema = sources[depth]
             for tup in tuples:
                 env.bindings[alias.lower()] = tup
                 yield from descend(depth + 1, env)

@@ -43,6 +43,7 @@ from .base import (
     SeqMatch,
     validate_args,
 )
+from .guards import CompiledGuard
 
 
 class _Partition:
@@ -102,6 +103,24 @@ class SeqOperator:
         self.window = window
         self.guard = guard
         self.partition_by = partition_by
+        # A CompiledGuard splits into per-argument admission checks (run once
+        # at arrival, before a tuple enters history) and cross-alias pairing
+        # terms (run while pairing).  A plain callable guard runs whole at
+        # pairing time, as before.
+        if isinstance(guard, CompiledGuard):
+            self._admission = guard.admit
+            self._pairing: Guard | None = (
+                None if guard.cross_free else guard.pairing
+            )
+        else:
+            self._admission = None
+            self._pairing = guard
+        # Purging is sound when nothing can disqualify a tuple at pairing
+        # time: no guard at all, or a compiled guard whose conjuncts were all
+        # decided at admission (cross_free).
+        self._purge_on_admit = (
+            mode is PairingMode.RECENT and self._pairing is None
+        )
         self.matches: list[SeqMatch] = []
         self.store_matches = store_matches
         self._on_match = on_match
@@ -110,13 +129,26 @@ class SeqOperator:
         self.tuples_seen = 0
         self.matches_emitted = 0
 
-        # positions per stream: stream name -> [arg indexes]
+        # positions per stream: stream name -> [arg indexes].  Keyed both by
+        # the lowercased name and by the stream's registered casing, so the
+        # per-tuple dispatch in _on_tuple can look up tup.stream directly
+        # without a .lower() call.
         self._positions: dict[str, list[int]] = {}
         for index, arg in enumerate(self.args):
             self._positions.setdefault(arg.stream.lower(), []).append(index)
-        for stream_name in self._positions:
+        compiled_exec = bool(getattr(engine, "compile_expressions", False))
+        for stream_name in list(self._positions):
             stream = engine.streams.get(stream_name)
-            self._unsubscribes.append(stream.subscribe(self._on_tuple))
+            positions = self._positions[stream_name]
+            self._positions.setdefault(stream.name, positions)
+            callback: Callable[[Tuple], None] = self._on_tuple
+            if (
+                compiled_exec
+                and mode is not PairingMode.CONSECUTIVE
+                and len(positions) == 1
+            ):
+                callback = self._dispatch_for(stream.name, positions[0])
+            self._unsubscribes.append(stream.subscribe(callback))
 
     # -- public ----------------------------------------------------------
 
@@ -139,6 +171,69 @@ class SeqOperator:
 
     # -- ingestion --------------------------------------------------------
 
+    def _dispatch_for(self, name: str, index: int) -> Callable[[Tuple], None]:
+        """Specialize the per-tuple dispatch for a single-position stream.
+
+        Part of compiled execution: when one stream feeds exactly one
+        argument position (the common case — Example 6 wires four streams
+        to four positions), every decision the generic :meth:`_on_tuple`
+        makes per tuple (position lookup, admission presence, last-position
+        test, eviction probe) is made once here, at wiring time, leaving a
+        straight-line closure on the hot path.  Pass-through tuples carrying
+        another stream's name fall back to the generic routing.
+        """
+        generic = self._on_tuple
+        admission = self._admission
+        alias = self.args[index].alias
+        is_last = index == len(self.args) - 1
+        partition_by = self.partition_by
+        partitions = self._partitions
+        n_args = len(self.args)
+        window = self.window
+        attempt = self._attempt_matches
+        admit = self._admit
+        evict = self._evict
+
+        if admission is None:
+
+            def on_tuple(tup: Tuple) -> None:
+                if tup.stream is not name:
+                    generic(tup)
+                    return
+                self.tuples_seen += 1
+                key = partition_by(tup) if partition_by is not None else None
+                partition = partitions.get(key)
+                if partition is None:
+                    partition = partitions[key] = _Partition(n_args)
+                if is_last:
+                    attempt(partition, tup)
+                else:
+                    admit(partition, tup, index)
+                if window is not None:
+                    evict(partition, tup.ts)
+
+        else:
+
+            def on_tuple(tup: Tuple) -> None:  # noqa: F811
+                if tup.stream is not name:
+                    generic(tup)
+                    return
+                self.tuples_seen += 1
+                if not admission(alias, tup):
+                    return  # fails its own single-alias conjuncts: never matches
+                key = partition_by(tup) if partition_by is not None else None
+                partition = partitions.get(key)
+                if partition is None:
+                    partition = partitions[key] = _Partition(n_args)
+                if is_last:
+                    attempt(partition, tup)
+                else:
+                    admit(partition, tup, index)
+                if window is not None:
+                    evict(partition, tup.ts)
+
+        return on_tuple
+
     def _partition_for(self, tup: Tuple) -> _Partition:
         key = self.partition_by(tup) if self.partition_by else None
         partition = self._partitions.get(key)
@@ -149,7 +244,9 @@ class SeqOperator:
 
     def _on_tuple(self, tup: Tuple) -> None:
         self.tuples_seen += 1
-        positions = self._positions.get(tup.stream.lower())
+        positions = self._positions.get(tup.stream) or self._positions.get(
+            tup.stream.lower()
+        )
         if not positions:
             return
         partition = self._partition_for(tup)
@@ -157,7 +254,10 @@ class SeqOperator:
             self._consecutive_step(partition, tup, positions)
             return
         last = len(self.args) - 1
+        admit = self._admission
         for index in positions:
+            if admit is not None and not admit(self.args[index].alias, tup):
+                continue  # fails its own single-alias conjuncts: never matches
             if index == last:
                 self._attempt_matches(partition, tup)
             else:
@@ -166,7 +266,7 @@ class SeqOperator:
 
     def _admit(self, partition: _Partition, tup: Tuple, index: int) -> None:
         partition.histories[index].append(tup)
-        if self.mode is PairingMode.RECENT and self.guard is None:
+        if self._purge_on_admit:
             self._purge_dominated(partition, index)
 
     # -- history management ----------------------------------------------
@@ -226,6 +326,21 @@ class SeqOperator:
     # -- match generation --------------------------------------------------
 
     def _guard_ok(self, bindings: Mapping[str, Tuple]) -> bool:
+        """Pairing-time check.
+
+        For a compiled guard this is the cross-alias residue only — every
+        tuple in *bindings* already passed its admission conjuncts in
+        :meth:`_on_tuple`.  For a plain guard it is the whole predicate.
+        """
+        pairing = self._pairing
+        return pairing is None or bool(pairing(bindings))
+
+    def _full_guard_ok(self, bindings: Mapping[str, Tuple]) -> bool:
+        """The complete guard, admission conjuncts included.
+
+        CONSECUTIVE runs bypass :meth:`_admit`, so their extension checks
+        must not assume admission already happened.
+        """
         return self.guard is None or bool(self.guard(bindings))
 
     def _window_ok(self, chain: Sequence[Tuple]) -> bool:
@@ -283,10 +398,25 @@ class SeqOperator:
     ) -> list[Tuple] | None:
         """Backward-greedy most-recent-qualifying selection."""
         n = len(self.args)
+        if self._pairing is None:
+            # No pairing-time predicate: the most recent earlier tuple at
+            # each level is qualifying by construction, so the backward
+            # pass needs no binding bookkeeping or guard probes at all.
+            chain = [anchor]
+            upper = anchor
+            for index in range(n - 2, -1, -1):
+                history = partition.histories[index]
+                cut = bisect_left(history, upper)
+                if not cut:
+                    return None
+                upper = history[cut - 1]
+                chain.append(upper)
+            chain.reverse()
+            return chain if self._window_ok(chain) else None
         bindings: dict[str, Tuple] = {self.args[n - 1].alias: anchor}
         if not self._guard_ok(bindings):
             return None
-        chain: list[Tuple] = [anchor]
+        chain = [anchor]
         upper = anchor
         for index in range(n - 2, -1, -1):
             history = partition.histories[index]
@@ -358,7 +488,7 @@ class SeqOperator:
         extends = (
             arg is not None
             and arg.stream.lower() == tup.stream.lower()
-            and self._guard_ok(
+            and self._full_guard_ok(
                 {self.args[i].alias: t for i, t in enumerate(run)}
                 | {arg.alias: tup}
             )
@@ -376,7 +506,7 @@ class SeqOperator:
         # whether the interloper can start a fresh run.
         partition.run = []
         first = self.args[0]
-        if first.stream.lower() == tup.stream.lower() and self._guard_ok(
+        if first.stream.lower() == tup.stream.lower() and self._full_guard_ok(
             {first.alias: tup}
         ):
             partition.run = [tup]

@@ -132,6 +132,32 @@ class VirtualClock:
             self._firing = False
         return fired
 
+    def advance_if_due(self, to: float) -> int:
+        """Move time to *to*, entering the timer loop only when a timer is due.
+
+        Semantically identical to :meth:`advance` — same backwards check,
+        same timer-before-later-tuple discipline — but when the head of the
+        timer heap (if any) lies beyond *to*, it just slides ``now`` forward
+        without the firing-loop setup.  This is the per-record clock call of
+        the batched ingestion paths, where almost every record advances time
+        by a little and fires nothing.
+        """
+        timers = self._timers
+        if timers and timers[0].deadline <= to:
+            return self.advance(to)
+        if self._firing:
+            return self.advance(to)
+        now = self._now
+        if now is None:
+            self._now = to
+        elif to > now:
+            self._now = to
+        elif to < now:
+            raise ClockError(
+                f"clock cannot move backwards: at {now:g}, asked for {to:g}"
+            )
+        return 0
+
     def drain(self) -> int:
         """Fire all remaining one-shot timers regardless of deadline.
 

@@ -130,9 +130,17 @@ class QueryHandle:
 
 
 class Engine:
-    """A self-contained DSMS instance."""
+    """A self-contained DSMS instance.
 
-    def __init__(self) -> None:
+    ``compile_expressions`` selects the execution strategy for query
+    predicates and select lists: when True (the default) the language
+    compiler lowers expression trees to closures
+    (:meth:`~repro.dsms.expressions.Expression.compile`); when False every
+    evaluation walks the AST.  Both paths are semantically identical — the
+    flag exists for ablation benchmarks and as an escape hatch.
+    """
+
+    def __init__(self, compile_expressions: bool = True) -> None:
         self.clock = VirtualClock()
         self.streams = StreamRegistry()
         self.tables = TableRegistry()
@@ -140,6 +148,7 @@ class Engine:
         self.aggregates = AggregateRegistry()
         self.queries: list[QueryHandle] = []
         self.histories: dict[str, Any] = {}  # stream -> SnapshotView
+        self.compile_expressions = compile_expressions
         self._query_counter = 0
 
     # -- catalog --------------------------------------------------------
@@ -210,17 +219,50 @@ class Engine:
         self.clock.advance(tup.ts)
         stream.push(tup)
 
+    def push_batch(
+        self,
+        stream_name: str,
+        batch: Iterable[tuple[Mapping[str, Any] | Sequence[Any], float]],
+    ) -> int:
+        """Push many ``(values, ts)`` records to one stream.
+
+        Equivalent to calling :meth:`push` per record — timers due at or
+        before each record's timestamp still fire before that record is
+        delivered, so EXCEPTION_SEQ active expiration sees the identical
+        interleaving — but the stream lookup happens once and clock
+        advancement skips the timer loop whenever nothing is due.
+        """
+        stream = self.streams.get(stream_name)
+        advance = self.clock.advance_if_due
+        ingest = stream.batch_ingester()
+        count = 0
+        for values, ts in batch:
+            advance(ts)
+            ingest(values, ts)
+            count += 1
+        return count
+
     def run_trace(
         self, trace: Iterable[tuple[str, Mapping[str, Any] | Sequence[Any], float]]
     ) -> int:
         """Feed a whole trace of ``(stream, values, ts)`` records in order.
 
         Returns the number of tuples pushed.  Workload generators in
-        :mod:`repro.rfid` produce traces in this shape.
+        :mod:`repro.rfid` produce traces in this shape.  Per-record
+        semantics match :meth:`push` exactly (timers first, then the
+        tuple); stream handles are cached and the clock fast-path skips
+        the timer loop when no deadline is due.
         """
+        ingesters: dict[str, Callable[[Any, float], Tuple]] = {}
+        get = self.streams.get
+        advance = self.clock.advance_if_due
         count = 0
         for stream_name, values, ts in trace:
-            self.push(stream_name, values, ts)
+            ingest = ingesters.get(stream_name)
+            if ingest is None:
+                ingest = ingesters[stream_name] = get(stream_name).batch_ingester()
+            advance(ts)
+            ingest(values, ts)
             count += 1
         return count
 
@@ -265,17 +307,22 @@ class Engine:
         """
         from .snapshot import SnapshotView
 
-        key = stream_name.lower()
+        # Canonicalize through the registry so the history key always
+        # matches the stream's registered name, however the caller cased it.
+        stream = self.streams.get(stream_name)
+        key = stream.name.lower()
         view = self.histories.get(key)
         if view is None:
-            view = SnapshotView(
-                self.streams.get(stream_name), duration, self.aggregates
-            )
+            view = SnapshotView(stream, duration, self.aggregates)
             self.histories[key] = view
         return view
 
     def history(self, stream_name: str):
-        """The enabled history view for a stream (KeyError if not enabled)."""
+        """The enabled history view for a stream (KeyError if not enabled).
+
+        Lookup is case-insensitive and accepts any casing of the stream
+        name, matching :meth:`enable_history` and :meth:`snapshot`.
+        """
         try:
             return self.histories[stream_name.lower()]
         except KeyError:

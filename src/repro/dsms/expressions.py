@@ -12,13 +12,26 @@ tuples.  A column reference ``r1.tag_id`` looks up alias ``r1``; a bare
 These nodes are deliberately plain (no metaclass tricks): each has an
 ``eval(env)`` method and a ``references()`` helper used by the optimizer for
 predicate pushdown.
+
+Besides the tree-walking ``eval(env)``, every node supports
+``compile(ctx) -> Callable[[Env], Any]``: lowering to nested Python
+closures.  The compiled form is semantically identical (same three-valued
+logic, same errors) but skips per-eval dispatch, folds constants, and —
+when the :class:`CompileContext` knows an alias's schema — turns
+``alias.field`` into a single positional list index instead of a schema
+lookup.  Nodes without a specialized lowering fall back to their ``eval``
+bound method, so ``compile`` never changes behaviour, only speed.
 """
 
 from __future__ import annotations
 
+import operator as _operator
+import re
+
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from .errors import EslRuntimeError, EslSemanticError, UnknownFunctionError
+from .schema import Schema
 from .tuples import Tuple
 
 
@@ -83,6 +96,56 @@ class Env:
         raise UnknownFunctionError(f"unknown function {name!r}")
 
 
+EvalFn = Callable[[Env], Any]
+
+
+class CompileContext:
+    """Static information available while lowering expressions to closures.
+
+    ``functions`` should be the engine's *live* UDF mapping
+    (:meth:`UdfRegistry.as_mapping`) so re-registered functions are picked
+    up per call, exactly as interpreted evaluation does.  ``schemas`` maps
+    alias -> :class:`Schema` for aliases whose layout is known at compile
+    time; those column references lower to positional access.
+    """
+
+    __slots__ = ("functions", "schemas")
+
+    def __init__(
+        self,
+        functions: Mapping[str, Callable[..., Any]] | None = None,
+        schemas: Mapping[str, Schema] | None = None,
+    ) -> None:
+        self.functions: Mapping[str, Callable[..., Any]] = (
+            functions if functions is not None else {}
+        )
+        self.schemas: dict[str, Schema] = {
+            alias.lower(): schema for alias, schema in (schemas or {}).items()
+        }
+
+    def schema_for(self, alias: str) -> Schema | None:
+        return self.schemas.get(alias.lower())
+
+
+class _ConstFn:
+    """A compiled closure whose result is known at compile time.
+
+    Doubles as the constant-folding marker: combinators check
+    ``isinstance(fn, _ConstFn)`` to fold eagerly.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __call__(self, env: Env) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"_ConstFn({self.value!r})"
+
+
 class Expression:
     """Base class for all expression nodes."""
 
@@ -90,6 +153,14 @@ class Expression:
 
     def eval(self, env: Env) -> Any:
         raise NotImplementedError
+
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        """Lower to a ``Callable[[Env], Any]`` equivalent to :meth:`eval`.
+
+        The default lowering is the ``eval`` bound method itself, so nodes
+        without a specialized ``compile`` still work — just uncompiled.
+        """
+        return self.eval
 
     def references(self) -> Iterator[tuple[str | None, str]]:
         """Yield (alias, field) pairs this expression reads."""
@@ -116,6 +187,9 @@ class Literal(Expression):
     def eval(self, env: Env) -> Any:
         return self.value
 
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        return _ConstFn(self.value)
+
     def __repr__(self) -> str:
         return f"Literal({self.value!r})"
 
@@ -137,6 +211,44 @@ class Column(Expression):
 
     def eval(self, env: Env) -> Any:
         return env.lookup_column(self.alias, self.field)
+
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        alias, field = self.alias, self.field
+        if alias is None:
+            # Bare columns need the dynamic multi-binding search.
+            return self.eval
+        key = alias.lower()
+        schema = ctx.schema_for(key)
+        if schema is not None and field in schema:
+            position = schema.position(field)
+
+            def positional(
+                env: Env,
+                _key: str = key,
+                _pos: int = position,
+                _schema: Schema = schema,
+            ) -> Any:
+                # Nearest-scope resolution, same as lookup_alias: check each
+                # env up the parent chain so correlated sub-query closures
+                # (outer alias in a parent scope) stay on the fast path.
+                scope: Env | None = env
+                while scope is not None:
+                    bound = scope.bindings.get(_key)
+                    if bound is not None:
+                        if type(bound) is Tuple and bound.schema is _schema:
+                            return bound.values[_pos]
+                        break  # star-run list or re-declared schema
+                    scope = scope.parent
+                # Fall back to the interpreted lookup (same binding, named
+                # access, full error handling).
+                return env.lookup_column(alias, field)
+
+            return positional
+
+        def dynamic(env: Env) -> Any:
+            return env.lookup_column(alias, field)
+
+        return dynamic
 
     def references(self) -> Iterator[tuple[str | None, str]]:
         yield (self.alias, self.field)
@@ -167,6 +279,18 @@ class TimestampRef(Expression):
 
     def eval(self, env: Env) -> Any:
         return env.lookup_alias(self.alias).ts
+
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        alias = self.alias
+        key = alias.lower()
+
+        def timestamp(env: Env) -> Any:
+            bound = env.bindings.get(key)
+            if type(bound) is Tuple:
+                return bound.ts
+            return env.lookup_alias(alias).ts
+
+        return timestamp
 
     def references(self) -> Iterator[tuple[str | None, str]]:
         yield (self.alias, "__ts__")
@@ -227,6 +351,64 @@ def _arith(op: str, left: Any, right: Any) -> Any:
     raise EslRuntimeError(f"unknown arithmetic operator {op!r}")
 
 
+# Raw Python operators behind each comparison; the compiled closures wrap
+# these with the NULL-in/NULL-out and TypeError conventions of _compare.
+_CMP_FUNCS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": _operator.eq,
+    "<>": _operator.ne,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+
+_ARITH_FUNCS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": _operator.add,
+    "-": _operator.sub,
+    "*": _operator.mul,
+}
+
+
+def _compile_comparison(op: str, left: EvalFn, right: EvalFn) -> EvalFn:
+    base = _CMP_FUNCS[op]
+
+    def compare(env: Env) -> bool | None:
+        lhs = left(env)
+        rhs = right(env)
+        if lhs is None or rhs is None:
+            return None
+        try:
+            return base(lhs, rhs)
+        except TypeError as exc:
+            raise EslRuntimeError(f"cannot compare {lhs!r} {op} {rhs!r}") from exc
+
+    return compare
+
+
+def _compile_arithmetic(op: str, left: EvalFn, right: EvalFn) -> EvalFn:
+    base = _ARITH_FUNCS.get(op)
+    if base is not None:
+
+        def arith(env: Env) -> Any:
+            lhs = left(env)
+            rhs = right(env)
+            if lhs is None or rhs is None:
+                return None
+            try:
+                return base(lhs, rhs)
+            except TypeError as exc:
+                raise EslRuntimeError(f"cannot apply {lhs!r} {op} {rhs!r}") from exc
+
+        return arith
+
+    # Division/modulo (zero -> NULL) and || keep the shared helper.
+    def general(env: Env) -> Any:
+        return _arith(op, left(env), right(env))
+
+    return general
+
+
 class BinaryOp(Expression):
     """Arithmetic, comparison, or string concatenation."""
 
@@ -248,6 +430,21 @@ class BinaryOp(Expression):
         if self.op in self.COMPARISONS:
             return _compare(self.op, left, right)
         return _arith(self.op, left, right)
+
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        left = self.left.compile(ctx)
+        right = self.right.compile(ctx)
+        op = self.op
+        comparison = op in self.COMPARISONS
+        if isinstance(left, _ConstFn) and isinstance(right, _ConstFn):
+            apply = _compare if comparison else _arith
+            try:
+                return _ConstFn(apply(op, left.value, right.value))
+            except EslRuntimeError:
+                pass  # defer the error to evaluation time, like eval() does
+        if comparison:
+            return _compile_comparison(op, left, right)
+        return _compile_arithmetic(op, left, right)
 
     def references(self) -> Iterator[tuple[str | None, str]]:
         yield from self.left.references()
@@ -278,6 +475,52 @@ class And(Expression):
                 saw_null = True
         return None if saw_null else True
 
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        fns: list[EvalFn] = []
+        saw_const_null = False
+        for operand in self.operands:
+            fn = operand.compile(ctx)
+            if isinstance(fn, _ConstFn):
+                if fn.value is False:
+                    # Note eval() short-circuits on the first False, so a
+                    # constant False makes later operands unreachable *after
+                    # the ones already collected* — but since those earlier
+                    # closures may themselves raise, only fold when False is
+                    # the sole survivor so far.
+                    if not fns:
+                        return _ConstFn(False)
+                    fns.append(fn)
+                elif fn.value is None:
+                    saw_const_null = True
+                # constant True contributes nothing; drop it
+                continue
+            fns.append(fn)
+        if not fns:
+            return _ConstFn(None if saw_const_null else True)
+
+        if not saw_const_null and len(fns) == 1:
+            sole = fns[0]
+
+            def single(env: Env) -> bool | None:
+                value = sole(env)
+                if value is False:
+                    return False
+                return None if value is None else True
+
+            return single
+
+        def conjunction(env: Env) -> bool | None:
+            saw_null = saw_const_null
+            for fn in fns:
+                value = fn(env)
+                if value is False:
+                    return False
+                if value is None:
+                    saw_null = True
+            return None if saw_null else True
+
+        return conjunction
+
     def references(self) -> Iterator[tuple[str | None, str]]:
         for operand in self.operands:
             yield from operand.references()
@@ -307,6 +550,36 @@ class Or(Expression):
                 saw_null = True
         return None if saw_null else False
 
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        fns: list[EvalFn] = []
+        saw_const_null = False
+        for operand in self.operands:
+            fn = operand.compile(ctx)
+            if isinstance(fn, _ConstFn):
+                if fn.value is True:
+                    if not fns:
+                        return _ConstFn(True)
+                    fns.append(fn)
+                elif fn.value is None:
+                    saw_const_null = True
+                # constant False contributes nothing; drop it
+                continue
+            fns.append(fn)
+        if not fns:
+            return _ConstFn(None if saw_const_null else False)
+
+        def disjunction(env: Env) -> bool | None:
+            saw_null = saw_const_null
+            for fn in fns:
+                value = fn(env)
+                if value is True:
+                    return True
+                if value is None:
+                    saw_null = True
+            return None if saw_null else False
+
+        return disjunction
+
     def references(self) -> Iterator[tuple[str | None, str]]:
         for operand in self.operands:
             yield from operand.references()
@@ -332,6 +605,19 @@ class Not(Expression):
             return None
         return not value
 
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        fn = self.operand.compile(ctx)
+        if isinstance(fn, _ConstFn):
+            return _ConstFn(None if fn.value is None else not fn.value)
+
+        def negation(env: Env) -> bool | None:
+            value = fn(env)
+            if value is None:
+                return None
+            return not value
+
+        return negation
+
     def references(self) -> Iterator[tuple[str | None, str]]:
         yield from self.operand.references()
 
@@ -353,6 +639,20 @@ class Negate(Expression):
     def eval(self, env: Env) -> Any:
         value = self.operand.eval(env)
         return None if value is None else -value
+
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        fn = self.operand.compile(ctx)
+        if isinstance(fn, _ConstFn):
+            try:
+                return _ConstFn(None if fn.value is None else -fn.value)
+            except TypeError:
+                pass  # defer the error to evaluation time
+
+        def negate(env: Env) -> Any:
+            value = fn(env)
+            return None if value is None else -value
+
+        return negate
 
     def references(self) -> Iterator[tuple[str | None, str]]:
         yield from self.operand.references()
@@ -376,6 +676,15 @@ class IsNull(Expression):
     def eval(self, env: Env) -> bool:
         result = self.operand.eval(env) is None
         return not result if self.negate else result
+
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        fn = self.operand.compile(ctx)
+        if isinstance(fn, _ConstFn):
+            result = fn.value is None
+            return _ConstFn(not result if self.negate else result)
+        if self.negate:
+            return lambda env: fn(env) is not None
+        return lambda env: fn(env) is None
 
     def references(self) -> Iterator[tuple[str | None, str]]:
         yield from self.operand.references()
@@ -413,6 +722,23 @@ class Between(Expression):
             return None
         result = low <= value <= high
         return not result if self.negate else result
+
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        operand = self.operand.compile(ctx)
+        low = self.low.compile(ctx)
+        high = self.high.compile(ctx)
+        negate = self.negate
+
+        def between(env: Env) -> bool | None:
+            value = operand(env)
+            lo = low(env)
+            hi = high(env)
+            if value is None or lo is None or hi is None:
+                return None
+            result = lo <= value <= hi
+            return not result if negate else result
+
+        return between
 
     def references(self) -> Iterator[tuple[str | None, str]]:
         yield from self.operand.references()
@@ -454,6 +780,28 @@ class InList(Expression):
             return None
         return True if self.negate else False
 
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        operand = self.operand.compile(ctx)
+        option_fns = [option.compile(ctx) for option in self.options]
+        negate = self.negate
+
+        def membership(env: Env) -> bool | None:
+            value = operand(env)
+            if value is None:
+                return None
+            saw_null = False
+            for fn in option_fns:
+                candidate = fn(env)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    return False if negate else True
+            if saw_null:
+                return None
+            return True if negate else False
+
+        return membership
+
     def references(self) -> Iterator[tuple[str | None, str]]:
         yield from self.operand.references()
         for option in self.options:
@@ -480,25 +828,57 @@ class Like(Expression):
         self.negate = negate
         self._compiled: tuple[str, Any] | None = None
 
-    def eval(self, env: Env) -> bool | None:
-        import re
+    @staticmethod
+    def _regex(pattern: str) -> Any:
+        return re.compile(
+            "".join(
+                ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+                for ch in pattern
+            )
+            + r"\Z",
+            re.DOTALL,
+        )
 
+    def eval(self, env: Env) -> bool | None:
         value = self.operand.eval(env)
         pattern = self.pattern.eval(env)
         if value is None or pattern is None:
             return None
         if self._compiled is None or self._compiled[0] != pattern:
-            regex = re.compile(
-                "".join(
-                    ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
-                    for ch in pattern
-                )
-                + r"\Z",
-                re.DOTALL,
-            )
-            self._compiled = (pattern, regex)
+            self._compiled = (pattern, self._regex(pattern))
         result = self._compiled[1].match(str(value)) is not None
         return not result if self.negate else result
+
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        operand = self.operand.compile(ctx)
+        pattern_fn = self.pattern.compile(ctx)
+        negate = self.negate
+        if isinstance(pattern_fn, _ConstFn) and pattern_fn.value is not None:
+            regex = self._regex(pattern_fn.value)
+
+            def match_const(env: Env) -> bool | None:
+                value = operand(env)
+                if value is None:
+                    return None
+                result = regex.match(str(value)) is not None
+                return not result if negate else result
+
+            return match_const
+
+        cache: list[tuple[str, Any] | None] = [None]
+
+        def match(env: Env) -> bool | None:
+            value = operand(env)
+            pattern = pattern_fn(env)
+            if value is None or pattern is None:
+                return None
+            cached = cache[0]
+            if cached is None or cached[0] != pattern:
+                cached = cache[0] = (pattern, self._regex(pattern))
+            result = cached[1].match(str(value)) is not None
+            return not result if negate else result
+
+        return match
 
     def references(self) -> Iterator[tuple[str | None, str]]:
         yield from self.operand.references()
@@ -525,6 +905,22 @@ class FunctionCall(Expression):
         fn = env.lookup_function(self.name)
         values = [arg.eval(env) for arg in self.args]
         return fn(*values)
+
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        arg_fns = [arg.compile(ctx) for arg in self.args]
+        key = self.name.lower()
+        # ctx.functions is the engine's live registry mapping: look the
+        # callable up per call so a later re-registration is honoured, just
+        # as interpreted lookup_function would.
+        functions = ctx.functions
+
+        def call(env: Env) -> Any:
+            target = functions.get(key)
+            if target is None:
+                target = env.lookup_function(key)
+            return target(*[fn(env) for fn in arg_fns])
+
+        return call
 
     def references(self) -> Iterator[tuple[str | None, str]]:
         for arg in self.args:
@@ -557,6 +953,23 @@ class Case(Expression):
         if self.default is not None:
             return self.default.eval(env)
         return None
+
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        branch_fns = [
+            (condition.compile(ctx), value.compile(ctx))
+            for condition, value in self.branches
+        ]
+        default_fn = None if self.default is None else self.default.compile(ctx)
+
+        def case(env: Env) -> Any:
+            for condition, value in branch_fns:
+                if condition(env) is True:
+                    return value(env)
+            if default_fn is not None:
+                return default_fn(env)
+            return None
+
+        return case
 
     def references(self) -> Iterator[tuple[str | None, str]]:
         for condition, value in self.branches:
@@ -601,6 +1014,12 @@ class SubqueryPredicate(Expression):
     def eval(self, env: Env) -> bool:
         result = self.probe(env)
         return not result if self.negate else result
+
+    def compile(self, ctx: CompileContext) -> EvalFn:
+        probe = self.probe
+        if self.negate:
+            return lambda env: not probe(env)
+        return probe
 
     def __repr__(self) -> str:
         word = "NOT EXISTS" if self.negate else "EXISTS"

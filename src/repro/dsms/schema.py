@@ -124,7 +124,7 @@ class Schema:
     to store values positionally rather than in per-tuple dicts.
     """
 
-    __slots__ = ("fields", "_index", "_hash")
+    __slots__ = ("fields", "_index", "_names", "_hash")
 
     def __init__(self, fields: Iterable[Field | tuple[str, FieldType] | str]) -> None:
         normalized: list[Field] = []
@@ -142,6 +142,7 @@ class Schema:
             if field.name in self._index:
                 raise SchemaError(f"duplicate field name: {field.name!r}")
             self._index[field.name] = pos
+        self._names: tuple[str, ...] = tuple(f.name for f in self.fields)
         self._hash = hash(self.fields)
 
     @classmethod
@@ -176,7 +177,22 @@ class Schema:
 
     @property
     def names(self) -> tuple[str, ...]:
-        return tuple(field.name for field in self.fields)
+        return self._names
+
+    def covers(self, names: Iterable[str]) -> bool:
+        """True when every name in *names* is a field of this schema.
+
+        ``dict.keys()`` views and sets compare directly without building an
+        intermediate set, keeping per-tuple mapping validation allocation-free.
+        The set-likeness probe is duck-typed (``<=`` raises TypeError for
+        plain iterables) rather than an ABC isinstance check, which would put
+        a ``__subclasscheck__`` dispatch on the per-tuple ingestion path.
+        """
+        keys = self._index.keys()
+        try:
+            return names <= keys
+        except TypeError:
+            return all(name in keys for name in names)
 
     def position(self, name: str) -> int:
         """Return the 0-based position of *name*, raising SchemaError if absent."""

@@ -16,6 +16,8 @@ readers).
 from __future__ import annotations
 
 import heapq
+import itertools
+from collections.abc import Mapping as _MappingABC
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from .errors import OutOfOrderError, SchemaError, UnknownStreamError
@@ -41,26 +43,40 @@ class Stream:
         schema: Schema,
         allow_out_of_order: bool = False,
         reorder_slack: float = 0.0,
+        sequencer: Iterator[int] | None = None,
     ) -> None:
         self.name = name
         self.schema = schema
         self.last_ts: float | None = None
         self.count = 0
         self._subscribers: list[Subscriber] = []
+        self._fanout: tuple[Subscriber, ...] = ()
         self._allow_ooo = allow_out_of_order
         self._reorder_slack = reorder_slack
         self._reorder_buffer: list[Tuple] = []
         self._max_seen: float | None = None  # newest ts observed (pre-reorder)
+        self._ingester: Callable[[Any, float], Tuple] | None = None
+        # Shared per-registry counter: every tuple this stream builds or
+        # first delivers is stamped from it, so (ts, seq) ordering is
+        # consistent across all streams of one engine and independent of
+        # any other engine in the process.
+        self._sequencer = sequencer
 
     def subscribe(self, callback: Subscriber) -> Callable[[], None]:
         """Register *callback* for every future tuple; returns an unsubscriber."""
         self._subscribers.append(callback)
+        # _fanout is the delivery snapshot: rebuilt on (un)subscribe so the
+        # per-tuple loops need no defensive copy.  An in-flight delivery
+        # keeps iterating the tuple it started with, which is exactly the
+        # copy-then-iterate semantics this replaces.
+        self._fanout = tuple(self._subscribers)
 
         def unsubscribe() -> None:
             try:
                 self._subscribers.remove(callback)
             except ValueError:
                 pass
+            self._fanout = tuple(self._subscribers)
 
         return unsubscribe
 
@@ -70,7 +86,7 @@ class Stream:
 
     def push(self, tup: Tuple) -> None:
         """Emit *tup* to all subscribers, enforcing timestamp order."""
-        if tup.schema != self.schema:
+        if tup.schema is not self.schema and tup.schema != self.schema:
             raise SchemaError(
                 f"tuple schema {tup.schema!r} does not match stream "
                 f"{self.name!r} schema {self.schema!r}"
@@ -105,34 +121,139 @@ class Stream:
     def _deliver(self, tup: Tuple) -> None:
         if self.last_ts is not None and tup.ts < self.last_ts:
             tup = tup.with_ts(self.last_ts)  # clamp residual disorder
+            if self._sequencer is not None and tup.stream:
+                # The copy is unseen by subscribers; renumber it so the
+                # clamped delivery stays monotone in (ts, seq).
+                tup.seq = next(self._sequencer)
         if not tup.stream:
+            # First delivery of a standalone-built tuple: claim it for this
+            # engine (name + engine-scoped sequence number).  Tuples that
+            # were already delivered elsewhere (pass-through pipelines) keep
+            # their stamp — re-numbering would corrupt sort keys in any
+            # history that already holds them.
             tup.stream = self.name
+            if self._sequencer is not None:
+                tup.seq = next(self._sequencer)
         self.last_ts = tup.ts
         self.count += 1
-        for callback in tuple(self._subscribers):
+        for callback in self._fanout:
             callback(tup)
+
+    def _next_seq(self) -> int | None:
+        return None if self._sequencer is None else next(self._sequencer)
 
     def push_row(self, values: Sequence[Any], ts: float) -> Tuple:
         """Convenience: build a tuple from positional values and push it."""
-        tup = Tuple(self.schema, values, ts, self.name)
+        tup = Tuple(self.schema, values, ts, self.name, self._next_seq())
         self.push(tup)
         return tup
 
     def push_dict(self, mapping: Mapping[str, Any], ts: float) -> Tuple:
         """Convenience: build a tuple from a field mapping and push it."""
-        tup = Tuple.from_mapping(self.schema, mapping, ts, self.name)
+        tup = Tuple.from_mapping(self.schema, mapping, ts, self.name, self._next_seq())
         self.push(tup)
         return tup
+
+    def ingest(self, values: Mapping[str, Any] | Sequence[Any], ts: float) -> Tuple:
+        """Fused build-and-deliver for batch ingestion.
+
+        Semantically identical to :meth:`push_dict` / :meth:`push_row`
+        followed by :meth:`push`; see :meth:`batch_ingester` for the fused
+        hot path this delegates to.
+        """
+        ingester = self._ingester
+        if ingester is None:
+            ingester = self.batch_ingester()
+        return ingester(values, ts)
+
+    def batch_ingester(self) -> Callable[[Any, float], Tuple]:
+        """A cached fused pusher for the engine's batch-ingestion paths.
+
+        Collapses the ``push_dict``/``push_row`` → ``push`` → ``_deliver``
+        chain into one closure with the per-stream constants (schema,
+        sequencer, subscriber list) bound once: the tuple is built from
+        this stream's own schema (so the schema match holds by
+        construction) and, on in-order streams, delivered without
+        re-entering :meth:`push`'s clamp/claim logic — the order check here
+        already excludes the clamp case, and the stream stamp is set at
+        construction.  Out-of-order streams take the full reorder-buffer
+        path.
+        """
+        ingester = self._ingester
+        if ingester is not None:
+            return ingester
+
+        schema = self.schema
+        names = schema.names
+        n_cols = len(schema)
+        covers = schema.covers
+        name = self.name
+        sequencer = self._sequencer
+        subscribers = self._subscribers
+        reorder = self._allow_ooo
+        push = self.push
+        new = Tuple.__new__
+
+        def ingest(values: Any, ts: float) -> Tuple:
+            if type(values) is dict or isinstance(values, _MappingABC):
+                if not covers(values.keys()):
+                    extra = set(values) - set(names)
+                    raise SchemaError(
+                        f"unknown fields {sorted(extra)} for {schema!r}"
+                    )
+                row = tuple(map(values.get, names))
+            else:
+                row = tuple(values)
+                if len(row) != n_cols:
+                    raise SchemaError(
+                        f"tuple has {len(row)} values for {n_cols}-column "
+                        f"schema {schema!r}"
+                    )
+            if sequencer is None:
+                tup = Tuple(schema, row, ts, name)
+            else:
+                # Invariants Tuple.__init__ enforces (tuple-typed values,
+                # arity, float ts) are established above, so slot
+                # assignment is safe.
+                tup = new(Tuple)
+                tup.schema = schema
+                tup.values = row
+                tup.ts = ts = float(ts)
+                tup.stream = name
+                tup.seq = next(sequencer)
+            if reorder:
+                push(tup)
+                return tup
+            last = self.last_ts
+            if last is not None and tup.ts < last:
+                raise OutOfOrderError(
+                    f"stream {name!r}: tuple at ts={tup.ts:g} after "
+                    f"ts={last:g}"
+                )
+            self.last_ts = tup.ts
+            self.count += 1
+            for callback in self._fanout:
+                callback(tup)
+            return tup
+
+        self._ingester = ingest
+        return ingest
 
     def __repr__(self) -> str:
         return f"Stream({self.name!r}, {len(self.schema)} cols, {self.count} tuples)"
 
 
 class StreamRegistry:
-    """Name -> :class:`Stream` catalog with case-insensitive lookup."""
+    """Name -> :class:`Stream` catalog with case-insensitive lookup.
+
+    The registry owns the engine-scoped tuple sequence counter: all its
+    streams stamp tuples from one shared count, so (ts, seq) ordering is
+    total within an engine and never leaks between engines.
+    """
 
     def __init__(self) -> None:
         self._streams: dict[str, Stream] = {}
+        self._sequencer = itertools.count()
 
     def create(
         self,
@@ -149,7 +270,9 @@ class StreamRegistry:
             schema = Schema.parse(schema)
         elif not isinstance(schema, Schema):
             schema = Schema(schema)
-        stream = Stream(name, schema, allow_out_of_order, reorder_slack)
+        stream = Stream(
+            name, schema, allow_out_of_order, reorder_slack, self._sequencer
+        )
         self._streams[key] = stream
         return stream
 

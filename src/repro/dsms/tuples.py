@@ -9,6 +9,13 @@ engine.
 Tuples compare by (timestamp, sequence number) so that a heap of tuples pops
 in arrival order even when timestamps tie; the engine assigns monotonically
 increasing sequence numbers at ingestion.
+
+Sequence numbering is *per engine*: each :class:`~repro.dsms.streams.StreamRegistry`
+owns a counter, and every tuple delivered on one of its streams is stamped
+from it (at construction for stream-built tuples, at first delivery for
+standalone ones).  Tuples constructed standalone — outside any stream — fall
+back to a module-level counter, which :func:`reset_global_sequence` rewinds
+for tests that assert on raw sequence numbers.
 """
 
 from __future__ import annotations
@@ -20,6 +27,17 @@ from .errors import SchemaError
 from .schema import Schema
 
 _GLOBAL_SEQ = itertools.count()
+
+
+def reset_global_sequence() -> None:
+    """Rewind the fallback counter used by standalone-constructed tuples.
+
+    Engine-delivered tuples are numbered by their engine's own counter and
+    are unaffected; this only exists so tests building bare Tuples get
+    reproducible sequence numbers.
+    """
+    global _GLOBAL_SEQ
+    _GLOBAL_SEQ = itertools.count()
 
 
 class Tuple:
@@ -62,13 +80,15 @@ class Tuple:
         mapping: Mapping[str, Any],
         ts: float,
         stream: str = "",
+        seq: int | None = None,
     ) -> "Tuple":
         """Build a tuple from a field-name mapping, filling gaps with None."""
-        values = [mapping.get(name) for name in schema.names]
-        extra = set(mapping) - set(schema.names)
-        if extra:
+        get = mapping.get
+        values = [get(name) for name in schema.names]
+        if not schema.covers(mapping.keys()):
+            extra = set(mapping) - set(schema.names)
             raise SchemaError(f"unknown fields {sorted(extra)} for {schema!r}")
-        return cls(schema, values, ts, stream)
+        return cls(schema, values, ts, stream, seq)
 
     def __getitem__(self, name: str) -> Any:
         return self.values[self.schema.position(name)]
@@ -111,10 +131,18 @@ class Tuple:
     # Ordering: by timestamp, ties broken by arrival sequence.  This is what
     # "joint tuple history" union ordering in the paper relies on.
     def __lt__(self, other: "Tuple") -> bool:
-        return (self.ts, self.seq) < (other.ts, other.seq)
+        ts = self.ts
+        other_ts = other.ts
+        if ts != other_ts:
+            return ts < other_ts
+        return self.seq < other.seq
 
     def __le__(self, other: "Tuple") -> bool:
-        return (self.ts, self.seq) <= (other.ts, other.seq)
+        ts = self.ts
+        other_ts = other.ts
+        if ts != other_ts:
+            return ts < other_ts
+        return self.seq <= other.seq
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Tuple):

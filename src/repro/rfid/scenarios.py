@@ -75,8 +75,10 @@ WHERE NOT EXISTS
 """
 
 
-def build_dedup(workload: WorkloadResult) -> Scenario:
-    engine = Engine()
+def build_dedup(
+    workload: WorkloadResult, compile_expressions: bool = True
+) -> Scenario:
+    engine = Engine(compile_expressions=compile_expressions)
     engine.create_stream("readings", "reader_id str, tag_id str, read_time float")
     engine.create_stream(
         "cleaned_readings", "reader_id str, tag_id str, read_time float"
@@ -98,8 +100,10 @@ FROM tag_locations WHERE NOT EXISTS
 """
 
 
-def build_location(workload: WorkloadResult) -> Scenario:
-    engine = Engine()
+def build_location(
+    workload: WorkloadResult, compile_expressions: bool = True
+) -> Scenario:
+    engine = Engine(compile_expressions=compile_expressions)
     engine.create_stream(
         "tag_locations", "readerid str, tid str, tagtime float, loc str"
     )
@@ -117,8 +121,10 @@ AND extract_serial(tid) < 9999
 """
 
 
-def build_epc_aggregation(workload: WorkloadResult) -> Scenario:
-    engine = Engine()
+def build_epc_aggregation(
+    workload: WorkloadResult, compile_expressions: bool = True
+) -> Scenario:
+    engine = Engine(compile_expressions=compile_expressions)
     engine.create_stream("readings", "reader_id str, tid str, read_time float")
     handle = engine.query(EPC_AGG_QUERY, name="epc-agg")
     return Scenario(engine, handle, workload, "example3-epc")
@@ -144,9 +150,11 @@ AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
 
 
 def build_containment(
-    workload: WorkloadResult, per_item: bool = False
+    workload: WorkloadResult,
+    per_item: bool = False,
+    compile_expressions: bool = True,
 ) -> Scenario:
-    engine = Engine()
+    engine = Engine(compile_expressions=compile_expressions)
     engine.create_stream("r1", "readerid str, tagid str, tagtime float")
     engine.create_stream("r2", "readerid str, tagid str, tagtime float")
     query = CONTAINMENT_PER_ITEM_QUERY if per_item else CONTAINMENT_QUERY
@@ -172,9 +180,11 @@ OVER [1 HOURS FOLLOWING A1]) < 3
 
 
 def build_lab_workflow(
-    workload: WorkloadResult, use_clevel: bool = False
+    workload: WorkloadResult,
+    use_clevel: bool = False,
+    compile_expressions: bool = True,
 ) -> Scenario:
-    engine = Engine()
+    engine = Engine(compile_expressions=compile_expressions)
     for name in ("a1", "a2", "a3"):
         engine.create_stream(name, "tagid str, tagtime float")
     query = WORKFLOW_CLEVEL_QUERY if use_clevel else WORKFLOW_QUERY
@@ -197,13 +207,14 @@ def build_quality_check(
     workload: WorkloadResult,
     mode: str | None = "RECENT",
     window_minutes: float | None = None,
+    compile_expressions: bool = True,
 ) -> Scenario:
     """Example 6, optionally with MODE and the 30-minute window variant.
 
     The paper's verbatim query is UNRESTRICTED; RECENT is the optimized
     evaluation it recommends for this scenario, so it is the default here.
     """
-    engine = Engine()
+    engine = Engine(compile_expressions=compile_expressions)
     for name in ("c1", "c2", "c3", "c4"):
         engine.create_stream(name, "readerid str, tagid str, tagtime float")
     query = QUALITY_QUERY
@@ -246,8 +257,12 @@ WHERE item.tagtype = 'item' AND NOT EXISTS
 """
 
 
-def build_door(workload: WorkloadResult, theft_variant: bool = True) -> Scenario:
-    engine = Engine()
+def build_door(
+    workload: WorkloadResult,
+    theft_variant: bool = True,
+    compile_expressions: bool = True,
+) -> Scenario:
+    engine = Engine(compile_expressions=compile_expressions)
     engine.create_stream("tag_readings", "tagid str, tagtype str, tagtime float")
     query = DOOR_QUERY_THEFT if theft_variant else DOOR_QUERY_PERSONS
     handle = engine.query(query, name="door")

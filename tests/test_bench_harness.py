@@ -97,3 +97,77 @@ class TestTimedAndMetrics:
     def test_summarize_rows(self):
         rows = [{"a": 1, "b": 2}, {"a": 3}]
         assert summarize_rows(rows, ["a", "b"]) == [(1, 2), (3, None)]
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        from repro.bench import percentile
+        assert percentile([42.0], 0) == 42.0
+        assert percentile([42.0], 99) == 42.0
+
+    def test_interpolation(self):
+        from repro.bench import percentile
+        assert percentile([1.0, 2.0], 50) == 1.5
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0) == 1.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+
+    def test_order_independent(self):
+        from repro.bench import percentile
+        assert percentile([4.0, 1.0, 3.0, 2.0], 50) == 2.5
+
+    def test_p99_near_max(self):
+        from repro.bench import percentile
+        samples = [float(i) for i in range(100)]
+        assert 98.0 <= percentile(samples, 99) <= 99.0
+
+    def test_validation(self):
+        import pytest as _pytest
+        from repro.bench import percentile
+        with _pytest.raises(ValueError):
+            percentile([], 50)
+        with _pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestBenchReport:
+    def test_writes_named_json(self, tmp_path):
+        import json
+        from repro.bench import BenchReport
+        report = BenchReport("demo", meta={"reps": 3})
+        report.add_experiment(
+            "arm-a", n_tuples=1000, seconds=0.5,
+            latencies_s=[0.001, 0.002, 0.004],
+            state_size=17, params={"mode": "fast"}, rows=12,
+        )
+        path = report.write(str(tmp_path))
+        assert path.endswith("BENCH_demo.json")
+        payload = json.loads(open(path).read())
+        assert payload["schema_version"] == 1
+        assert payload["name"] == "demo"
+        assert payload["meta"] == {"reps": 3}
+        (entry,) = payload["experiments"]
+        assert entry["label"] == "arm-a"
+        assert entry["throughput_tuples_per_s"] == 2000.0
+        assert entry["state_size"] == 17
+        assert entry["params"] == {"mode": "fast"}
+        assert entry["rows"] == 12
+        assert entry["latency_us"]["samples"] == 3
+        assert entry["latency_us"]["p50"] == 2000.0  # 2 ms in µs
+        assert entry["latency_us"]["max"] == 4000.0
+
+    def test_latency_block_optional(self, tmp_path):
+        import json
+        from repro.bench import BenchReport
+        report = BenchReport("nolat")
+        report.add_experiment("a", n_tuples=10, seconds=0.0)
+        path = report.write(str(tmp_path))
+        (entry,) = json.loads(open(path).read())["experiments"]
+        assert "latency_us" not in entry
+        assert entry["throughput_tuples_per_s"] == 0.0
+
+    def test_measure_latencies_counts(self):
+        from repro.bench import measure_latencies
+        calls = []
+        samples = measure_latencies(lambda: calls.append(1), 5)
+        assert len(samples) == 5 and len(calls) == 5
+        assert all(s >= 0.0 for s in samples)
