@@ -1,0 +1,103 @@
+"""SHARD — partition-sharded engine scaling on the Example 6 SEQ workload.
+
+Regenerates: the throughput curve of :class:`repro.ShardedEngine` with the
+process-backed parallel executor at 1/2/4/8 shards, against the single
+:class:`repro.Engine` reference, on the four-step quality-check SEQ query
+(hash-routed by the hoisted ``tagid`` equality chain).  Correctness is part
+of the measurement: every arm's merged output must equal the single-engine
+output row for row, or the runner raises.
+
+Expected shape: speedup at 4 shards over 1 shard is >= 1.5x *when the host
+has cores to scale onto*.  On a 1-core container the shards serialize onto
+one CPU and the curve is flat-to-negative (dispatch overhead with nothing
+to parallelize), so the scaling floor is asserted only when
+``effective_cpu_count() >= 4`` — or unconditionally when
+``REPRO_BENCH_REQUIRE_SCALING=1`` (set it in CI runs that guarantee
+cores).  The report always records ``cpu_count`` in its meta so an
+archived flat curve is self-explaining.
+
+Writes ``BENCH_sharded_scaling.json`` to the repository root.
+"""
+
+import os
+
+from repro.bench import (
+    ResultTable,
+    effective_cpu_count,
+    run_sharded_scaling,
+    scaling_speedup,
+)
+
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+N_PRODUCTS = int(os.environ.get("REPRO_BENCH_SHARD_PRODUCTS", "400"))
+MIN_SPEEDUP_AT_4 = 1.5
+
+
+def _require_scaling() -> bool:
+    override = os.environ.get("REPRO_BENCH_REQUIRE_SCALING")
+    if override is not None:
+        return override not in ("", "0")
+    return effective_cpu_count() >= 4
+
+
+def test_sharded_scaling_curve(table_printer):
+    report = run_sharded_scaling(
+        n_products=N_PRODUCTS,
+        shard_counts=(1, 2, 4, 8),
+        executor="parallel",
+        reps=REPS,
+    )
+    report.meta["reps"] = REPS
+
+    table = ResultTable(
+        "SHARD  Example 6 SEQ across shards (parallel executor)",
+        ["config", "shards", "tuples", "seconds", "tuples/s", "speedup"],
+    )
+    curve = next(
+        entry for entry in report.experiments
+        if entry.get("kind") == "scaling_curve"
+    )
+    for entry in report.experiments:
+        if entry.get("kind") == "scaling_curve":
+            continue
+        shards = entry.get("shards", "-")
+        speedup = scaling_speedup(report, shards) if shards != "-" else "-"
+        table.add(
+            entry["label"], shards, entry["n_tuples"], entry["seconds"],
+            entry["throughput_tuples_per_s"],
+            speedup if isinstance(speedup, str) else f"{speedup:.2f}x",
+        )
+    table_printer(table)
+
+    path = report.write(os.path.join(os.path.dirname(__file__), ".."))
+    assert os.path.exists(path)
+
+    # The curve must contain every arm and a sane baseline.
+    assert [point["shards"] for point in curve["curve"]] == [1, 2, 4, 8]
+    assert curve["baseline_shards"] == 1
+
+    speedup_at_4 = scaling_speedup(report, 4)
+    assert speedup_at_4 is not None
+    if _require_scaling():
+        assert speedup_at_4 >= MIN_SPEEDUP_AT_4, (
+            f"expected >= {MIN_SPEEDUP_AT_4}x at 4 shards on a "
+            f"{effective_cpu_count()}-CPU host, got {speedup_at_4:.2f}x"
+        )
+    else:
+        print(
+            f"\n(scaling floor skipped: {effective_cpu_count()} CPU(s) "
+            f"available; measured {speedup_at_4:.2f}x at 4 shards)"
+        )
+
+
+def test_sharded_serial_matches_single():
+    """The serial executor arm: pure determinism check, no scaling claim."""
+    report = run_sharded_scaling(
+        n_products=min(N_PRODUCTS, 120),
+        shard_counts=(1, 2),
+        executor="serial",
+        reps=1,
+    )
+    # run_sharded_scaling raises if any arm diverges from the single
+    # engine; reaching here means both shard counts matched row for row.
+    assert scaling_speedup(report, 2) is not None

@@ -33,6 +33,8 @@ from .dsms import (
     EslSyntaxError,
     QueryHandle,
     Schema,
+    ShardedEngine,
+    ShardedQueryHandle,
     SnapshotView,
     Stream,
     Table,
@@ -79,6 +81,8 @@ __all__ = [
     "SeqMatch",
     "SeqOperator",
     "SequenceOutcome",
+    "ShardedEngine",
+    "ShardedQueryHandle",
     "SnapshotView",
     "StarSeqOperator",
     "Stream",

@@ -9,15 +9,25 @@ from .harness import (
     sweep,
 )
 from .metrics import Accuracy, containment_accuracy, summarize_rows, throughput
+from .runners import (
+    BENCH_RUNNERS,
+    effective_cpu_count,
+    run_sharded_scaling,
+    scaling_speedup,
+)
 
 __all__ = [
     "Accuracy",
+    "BENCH_RUNNERS",
     "BenchReport",
     "ResultTable",
     "Timed",
     "containment_accuracy",
+    "effective_cpu_count",
     "measure_latencies",
     "percentile",
+    "run_sharded_scaling",
+    "scaling_speedup",
     "summarize_rows",
     "sweep",
     "throughput",

@@ -144,10 +144,15 @@ class BenchReport:
         seconds: float,
         latencies_s: Sequence[float] | None = None,
         state_size: int | None = None,
+        shards: int | None = None,
         params: Mapping[str, Any] | None = None,
         **extra: Any,
     ) -> dict[str, Any]:
-        """Record one configuration; returns the entry (already appended)."""
+        """Record one configuration; returns the entry (already appended).
+
+        ``shards`` marks a sharded-engine run so trajectory tooling can
+        group one benchmark's scaling arms without parsing labels.
+        """
         entry: dict[str, Any] = {
             "label": label,
             "n_tuples": int(n_tuples),
@@ -156,6 +161,8 @@ class BenchReport:
                 n_tuples / seconds if seconds > 0 else 0.0
             ),
         }
+        if shards is not None:
+            entry["shards"] = int(shards)
         if latencies_s:
             entry["latency_us"] = {
                 "p50": percentile(latencies_s, 50.0) * 1e6,
@@ -165,6 +172,53 @@ class BenchReport:
             }
         if state_size is not None:
             entry["state_size"] = int(state_size)
+        if params:
+            entry["params"] = dict(params)
+        entry.update(extra)
+        self.experiments.append(entry)
+        return entry
+
+    def add_scaling_curve(
+        self,
+        label: str,
+        points: Sequence[tuple[int, float]],
+        *,
+        n_tuples: int,
+        baseline_shards: int = 1,
+        params: Mapping[str, Any] | None = None,
+        **extra: Any,
+    ) -> dict[str, Any]:
+        """Record a shard-count scaling curve as one entry.
+
+        ``points`` is a sequence of ``(shards, seconds)`` measurements over
+        the *same* workload of ``n_tuples`` records.  Speedups are computed
+        against the ``baseline_shards`` point (which must be present).
+        """
+        by_shards = {int(shards): float(seconds) for shards, seconds in points}
+        if baseline_shards not in by_shards:
+            raise ValueError(
+                f"baseline shards={baseline_shards} missing from curve "
+                f"points {sorted(by_shards)}"
+            )
+        baseline_seconds = by_shards[baseline_shards]
+        curve = [
+            {
+                "shards": shards,
+                "seconds": seconds,
+                "throughput_tuples_per_s": (
+                    n_tuples / seconds if seconds > 0 else 0.0
+                ),
+                "speedup": (baseline_seconds / seconds if seconds > 0 else 0.0),
+            }
+            for shards, seconds in sorted(by_shards.items())
+        ]
+        entry: dict[str, Any] = {
+            "label": label,
+            "kind": "scaling_curve",
+            "n_tuples": int(n_tuples),
+            "baseline_shards": int(baseline_shards),
+            "curve": curve,
+        }
         if params:
             entry["params"] = dict(params)
         entry.update(extra)

@@ -11,6 +11,11 @@ then continuous queries).  The trace file is the CSV format of
 :mod:`repro.rfid.traceio`.  Output rows from the *last* query in the
 script are printed as CSV to stdout; ``--follow STREAM`` prints a derived
 stream instead.
+
+Named benchmarks run through the ``bench`` subcommand and write their
+machine-readable report next to the working directory::
+
+    python -m repro bench sharded_scaling --out . --reps 3
 """
 
 from __future__ import annotations
@@ -130,7 +135,72 @@ def run_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    from .bench import BENCH_RUNNERS
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run a named benchmark and write BENCH_<name>.json.",
+    )
+    parser.add_argument(
+        "name", choices=sorted(BENCH_RUNNERS),
+        help="benchmark to run",
+    )
+    parser.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for the BENCH_<name>.json report (default: cwd)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None,
+        help="repetitions per configuration (default: REPRO_BENCH_REPS or 3)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=None,
+        help="workload size knob (products/tags, runner-specific default)",
+    )
+    parser.add_argument(
+        "--executor", choices=("serial", "parallel"), default=None,
+        help="sharded executor to measure (runner-specific default)",
+    )
+    return parser
+
+
+def run_bench(argv: Sequence[str]) -> int:
+    from .bench import BENCH_RUNNERS
+
+    args = build_bench_parser().parse_args(argv)
+    kwargs: dict = {}
+    if args.reps is not None:
+        kwargs["reps"] = args.reps
+    if args.size is not None:
+        kwargs["n_products"] = args.size
+    if args.executor is not None:
+        kwargs["executor"] = args.executor
+    report = BENCH_RUNNERS[args.name](**kwargs)
+    path = report.write(args.out)
+    print(f"# wrote {path}", file=sys.stderr)
+    for entry in report.experiments:
+        if entry.get("kind") == "scaling_curve":
+            for point in entry["curve"]:
+                print(
+                    f"{entry['label']}: shards={point['shards']} "
+                    f"seconds={point['seconds']:.4f} "
+                    f"speedup={point['speedup']:.2f}x",
+                    file=sys.stderr,
+                )
+        else:
+            print(
+                f"{entry['label']}: {entry['throughput_tuples_per_s']:,.0f} "
+                "tuples/s",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        return run_bench(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.demo:

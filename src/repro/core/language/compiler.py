@@ -211,15 +211,24 @@ def _compile_select(
 ) -> QueryHandle:
     analysis = analyze(statement, engine)
     if analysis.kind == "temporal":
-        return _compile_temporal(engine, analysis, label)
-    if analysis.kind == "table_query":
-        return _compile_table_query(engine, analysis, label)
-    symmetric = _find_symmetric_exists(analysis)
-    if symmetric is not None:
-        return _compile_symmetric(engine, analysis, symmetric, label)
-    if analysis.kind == "aggregate":
-        return _compile_aggregate(engine, analysis, label)
-    return _compile_filter(engine, analysis, label)
+        handle = _compile_temporal(engine, analysis, label)
+    elif analysis.kind == "table_query":
+        handle = _compile_table_query(engine, analysis, label)
+    else:
+        symmetric = _find_symmetric_exists(analysis)
+        if symmetric is not None:
+            handle = _compile_symmetric(engine, analysis, symmetric, label)
+        elif analysis.kind == "aggregate":
+            handle = _compile_aggregate(engine, analysis, label)
+        else:
+            handle = _compile_filter(engine, analysis, label)
+    # Routing metadata for sharded execution (ShardedEngine): which streams
+    # feed this query, and the hoisted all-alias equality key, if any.
+    handle.partition_field = analysis.partition_field
+    handle.source_streams = tuple(
+        source.name for source in analysis.sources if source.is_stream
+    )
+    return handle
 
 
 # -- output plumbing ----------------------------------------------------------
@@ -242,6 +251,9 @@ class _Sink:
         self.collector: Collector | None = None
         if target is None:
             self.collector = Collector(label)
+            # Result-row schema, for consumers that rebuild Tuples from
+            # raw collected values (the sharded merge does).
+            self.collector.schema = schema
         elif target in engine.tables:
             self.table = engine.tables.get(target)
             self._check_arity(len(self.table.schema))
@@ -1302,6 +1314,7 @@ def _wire_seq(
         engine, label, sink.stream, sink.collector, [operator.stop]
     )
     handle.operator = operator  # type: ignore[attr-defined]
+    handle.sink_table = sink.table
     return engine.register_query(handle)
 
 
@@ -1357,6 +1370,7 @@ def _wire_exception_seq(
         engine, label, sink.stream, sink.collector, [operator.stop]
     )
     handle.operator = operator  # type: ignore[attr-defined]
+    handle.sink_table = sink.table
     return engine.register_query(handle)
 
 

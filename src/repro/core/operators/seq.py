@@ -125,6 +125,9 @@ class SeqOperator:
         self.store_matches = store_matches
         self._on_match = on_match
         self._partitions: dict[Any, _Partition] = {}
+        # Next virtual time at which the cross-partition eviction sweep
+        # runs (see _sweep); -inf so the first windowed arrival sweeps.
+        self._sweep_due = float("-inf")
         self._unsubscribes: list[Callable[[], None]] = []
         self.tuples_seen = 0
         self.matches_emitted = 0
@@ -280,7 +283,11 @@ class SeqOperator:
         """
         if self.window is None:
             return
-        horizon = self.window.horizon(now)
+        self._evict_windowed(partition, self.window.horizon(now))
+        if now >= self._sweep_due:
+            self._sweep(now)
+
+    def _evict_windowed(self, partition: _Partition, horizon: float) -> None:
         if self.window.direction == "preceding":
             bounded = range(0, min(self.window.anchor, len(partition.histories)))
         else:
@@ -292,6 +299,30 @@ class SeqOperator:
                 keep_from += 1
             if keep_from:
                 del history[:keep_from]
+
+    def _sweep(self, now: float) -> None:
+        """Cross-partition eviction sweep, amortized to once per window width.
+
+        Per-arrival eviction only touches the arriving tuple's partition, so
+        in UNRESTRICTED mode a partition that stops receiving tuples (a tag
+        that left the facility) would otherwise retain its windowed history
+        forever.  Sweeping every ``window.duration`` of virtual time evicts
+        expired history in *every* partition and drops partitions that
+        become empty, bounding total state by the tuples inside one window
+        plus at most one window width of slack — at O(1) amortized cost per
+        arrival.
+        """
+        horizon = self.window.horizon(now)
+        dead = []
+        for key, partition in self._partitions.items():
+            self._evict_windowed(partition, horizon)
+            if not partition.run and all(
+                not history for history in partition.histories
+            ):
+                dead.append(key)
+        for key in dead:
+            del self._partitions[key]
+        self._sweep_due = now + self.window.duration
 
     def _purge_dominated(self, partition: _Partition, index: int) -> None:
         """RECENT-mode aggressive purge (paper: "earlier tuples are

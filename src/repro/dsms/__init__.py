@@ -29,7 +29,9 @@ from .errors import (
     UnknownTableError,
     WindowError,
 )
+from .merge import StampedSink, merge_runs
 from .schema import Field, FieldType, Schema
+from .sharding import ShardedEngine, ShardedQueryHandle, shard_of
 from .snapshot import SnapshotView
 from .streams import Stream, StreamRegistry
 from .table import Table, TableRegistry
@@ -64,7 +66,10 @@ __all__ = [
     "RowsWindowBuffer",
     "Schema",
     "SchemaError",
+    "ShardedEngine",
+    "ShardedQueryHandle",
     "SnapshotView",
+    "StampedSink",
     "SqlUda",
     "Stream",
     "StreamRegistry",
@@ -84,5 +89,7 @@ __all__ = [
     "duration_seconds",
     "filter_transducer",
     "map_transducer",
+    "merge_runs",
+    "shard_of",
     "uda_from_callables",
 ]

@@ -45,6 +45,9 @@ class Collector:
     def __init__(self, name: str = "collector") -> None:
         self.name = name
         self.results: list[Tuple] = []
+        # Result-row schema when known (set by the compiler for query
+        # collectors); lets consumers rebuild Tuples from raw values.
+        self.schema: Schema | None = None
         self._unsubscribe: Callable[[], None] | None = None
 
     def __call__(self, tup: Tuple) -> None:
@@ -81,7 +84,19 @@ class QueryHandle:
 
     Exposes the query's output (either a named derived stream or an internal
     collector) and a :meth:`stop` method that detaches it from its sources.
+
+    The compiler also attaches routing metadata for sharded execution
+    (:mod:`repro.dsms.sharding`): ``source_streams`` — the stream names the
+    query reads (None on pure-DDL handles) — and ``partition_field`` — the
+    hoisted all-alias equality key of a temporal query, if any.  INSERT INTO
+    table queries additionally carry ``sink_table``.
     """
+
+    # Class-level defaults so DDL handles (which skip _compile_select)
+    # respond to the same metadata reads.
+    partition_field: str | None = None
+    source_streams: tuple[str, ...] | None = None
+    sink_table = None
 
     def __init__(
         self,

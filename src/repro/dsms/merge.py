@@ -1,0 +1,108 @@
+"""Deterministic merge of sharded engine outputs.
+
+A :class:`~repro.dsms.sharding.ShardedEngine` runs N independent
+:class:`~repro.dsms.engine.Engine` shards.  Each shard emits result rows in
+its own local order; to present callers with the *single* result stream a
+one-engine run would have produced, every emission is stamped and the
+per-shard runs are k-way merged.
+
+Merge discipline
+----------------
+
+Every emitted row is stamped ``(ts, g, shard, local)`` where
+
+* ``ts`` is the emission timestamp (for timer-driven EXCEPTION_SEQ
+  violations this is the timer *deadline* — the clock fires callbacks with
+  the deadline, not the arrival time that made it due);
+* ``g`` is the global input-record index that was current on the shard when
+  the row was drained (the router counts every pushed record once, across
+  all streams and shards);
+* ``shard`` is the shard index;
+* ``local`` is a per-shard, per-sink emission counter.
+
+Within one shard a run is already sorted by this key: the shard clock only
+moves forward, tuple-driven emissions carry the triggering input's
+timestamp, timer-driven emissions carry deadlines that are due at or before
+the current clock, and ``g``/``local`` are monotone by construction.  The
+merge is therefore a streaming :func:`heapq.merge` over already-sorted runs.
+
+Why this reproduces single-engine order: a single engine's collector list is
+ordered by emission time, which is non-decreasing in ``ts`` (clock
+discipline) and, within equal ``ts``, by triggering input record (``g``) —
+timers due at a record's timestamp fire *before* the record is delivered,
+and timer outputs carry ``ts`` = deadline <= record ts.  Sorting the union
+of shard runs by ``(ts, g, shard, local)`` hence reconstructs that order
+exactly, up to cross-shard ties in the full ``(ts, g)`` pair — which cannot
+occur for tuple-driven outputs (one input record triggers output on exactly
+one shard) and are measure-zero for timer outputs on float-timestamped
+workloads (they need two timers armed for the *same* deadline from anchors
+on different shards).  See ``docs/PERFORMANCE.md`` for the full argument.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator, Sequence
+
+# A stamped emission: (ts, g, shard, local, values).  Plain tuples keep the
+# records picklable (parallel executor workers ship them back to the
+# router) and directly comparable — (shard, local) is unique per shard, so
+# heap comparisons never reach the values payload.
+StampedRow = tuple[float, int, int, int, tuple[Any, ...]]
+
+
+class StampedSink:
+    """Stamps new rows appearing on one sink of one shard.
+
+    The sink's backing list is whatever the shard engine already appends
+    result tuples to (a :class:`~repro.dsms.engine.Collector`'s ``results``).
+    ``drain(g)`` is called after every ingest/advance step; it stamps any
+    rows that appeared since the previous drain with the current global
+    record index.  Emission order within the backing list is preserved via
+    the ``local`` counter.
+    """
+
+    __slots__ = ("sink_id", "shard", "_backing", "_cursor", "_local", "rows")
+
+    def __init__(self, sink_id: str, shard: int, backing: list) -> None:
+        self.sink_id = sink_id
+        self.shard = shard
+        self._backing = backing
+        self._cursor = 0
+        self._local = 0
+        self.rows: list[StampedRow] = []
+
+    def drain(self, g: int) -> None:
+        backing = self._backing
+        cursor = self._cursor
+        if len(backing) == cursor:
+            return
+        shard = self.shard
+        local = self._local
+        append = self.rows.append
+        for tup in backing[cursor:]:
+            append((tup.ts, g, shard, local, tup.values))
+            local += 1
+        self._cursor = len(backing)
+        self._local = local
+
+    def take(self) -> list[StampedRow]:
+        """Return and clear the stamped rows accumulated so far."""
+        out = self.rows
+        self.rows = []
+        return out
+
+
+def merge_runs(runs: Sequence[Sequence[StampedRow]]) -> Iterator[StampedRow]:
+    """K-way merge of per-shard stamped runs into one deterministic stream.
+
+    Each run must be internally sorted by ``(ts, g, shard, local)`` — true
+    by construction for runs produced by :class:`StampedSink` (see module
+    docstring).  The output is globally sorted by the same key.
+    """
+    return heapq.merge(*runs)
+
+
+def merged_values(runs: Sequence[Sequence[StampedRow]]) -> list[tuple[float, tuple]]:
+    """Merge runs and project to ``(ts, values)`` pairs, in final order."""
+    return [(row[0], row[4]) for row in merge_runs(runs)]

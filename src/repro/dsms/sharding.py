@@ -1,0 +1,980 @@
+"""Partition-sharded parallel engine.
+
+The paper's central RFID idiom — equality on ``tag_id`` hoisted into
+per-partition operator state (Example 6) — makes SEQ/EXCEPTION_SEQ
+workloads embarrassingly parallel across tags: tuples of different tags
+never interact.  :class:`ShardedEngine` exploits that.  It owns N inner
+:class:`~repro.dsms.engine.Engine` shards, hash-routes each pushed tuple
+to one shard by its partition key, broadcasts clock advancement to every
+shard (so EXCEPTION_SEQ *Active Expiration* timers fire identically
+everywhere), and k-way merges the per-shard outputs back into the single
+deterministic result stream a one-engine run would have produced (see
+:mod:`repro.dsms.merge` for the stamp/merge discipline).
+
+Routing rules
+-------------
+
+Each input stream gets exactly one routing policy, derived when queries
+are registered:
+
+* **hash** — tuples go to ``crc32(str(key)) % n_shards`` where the key
+  field comes from (a) an explicit ``shard_by={'stream': 'field'}``
+  override, else (b) the query's hoisted equality-chain partition key
+  (``QueryHandle.partition_field``) when every source stream carries it.
+* **broadcast** — every shard receives every tuple.  This is the fallback
+  for keyless streams: a query whose sources cannot all be keyed is
+  *replicated* (each shard computes the full result from the full input)
+  and its output is collected from shard 0 only, so rows are not
+  duplicated N times.
+
+A stream's policy must be consistent across all queries that read it:
+registering a query that needs stream S broadcast when another query
+hash-routes S (or needs a different key) raises
+:class:`~repro.dsms.errors.EslSemanticError` — run the conflicting query
+on its own ``ShardedEngine`` or add a ``shard_by`` override.  Correctness
+of an explicit ``shard_by`` key is the caller's contract: the query's
+semantics must not relate tuples with different key values (true for any
+query whose predicates all correlate on that key, like Example 1's
+per-tag dedup).
+
+Executors
+---------
+
+Two interchangeable executors implement the same routing/merge contract:
+
+* ``executor='serial'`` — all shards live in this process and every
+  record is applied synchronously: the target shard ingests, every other
+  shard's clock advances first.  This is the *reference* executor the
+  differential tests compare against a single ``Engine``.
+* ``executor='parallel'`` — each shard is a dedicated worker process
+  (one single-worker ``concurrent.futures.ProcessPoolExecutor`` per
+  shard, so shard state has strict worker affinity).  Records are routed
+  into per-shard buffers and handed off in batches; each batch replays
+  through :meth:`Engine.push_batch`-equivalent fused ingestion
+  (:meth:`Stream.batch_ingester`), so the PR-1 fast path applies per
+  shard.  Clock advancement is broadcast at batch boundaries, which
+  preserves merged output *order* (timer outputs are stamped with their
+  deadline either way) at the cost of coarser stamp granularity; see
+  ``docs/PERFORMANCE.md`` for the exact guarantee.
+
+Setup (``create_stream`` / ``create_table`` / ``register_udf`` /
+``query`` / ``collect``) must happen before the first push: the first
+data or clock operation freezes the configuration, and — in parallel
+mode — spawns the worker processes from a declarative replay spec.
+
+Typical use::
+
+    sharded = ShardedEngine(n_shards=4, executor='parallel')
+    for name in ('c1', 'c2', 'c3', 'c4'):
+        sharded.create_stream(name, 'readerid str, tagid str, tagtime float')
+    handle = sharded.query(QUALITY_QUERY)   # partitions on tagid
+    sharded.run_trace(trace)
+    sharded.flush()
+    print(handle.rows())                    # merged, single-engine order
+    sharded.close()
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .engine import Collector, Engine, QueryHandle
+from .errors import EslSemanticError
+from .merge import StampedRow, StampedSink, merge_runs
+from .schema import Schema
+from .tuples import Tuple
+
+
+def shard_of(key: Any, n_shards: int) -> int:
+    """Stable hash routing: same key -> same shard, across runs and hosts.
+
+    Uses CRC-32 of ``str(key)`` rather than :func:`hash` because the
+    latter is salted per process (``PYTHONHASHSEED``) — worker processes
+    and the router must agree.
+    """
+    return zlib.crc32(str(key).encode("utf-8", "surrogatepass")) % n_shards
+
+
+class _Route:
+    """Routing decision for one stream."""
+
+    __slots__ = ("stream", "policy", "field", "owner", "key_fn")
+
+    def __init__(self, stream: str) -> None:
+        self.stream = stream
+        self.policy: str | None = None  # None (undecided) | "hash" | "broadcast"
+        # For "hash": the key field, or None for *opaque* partitioned
+        # streams (derived outputs of a partitioned query whose schema
+        # does not carry the partition key — readable via collect(), but
+        # not pushable or re-consumable).
+        self.field: str | None = None
+        self.owner: str | None = None  # query label that fixed the policy
+        self.key_fn: Callable[[Any], Any] | None = None
+
+
+class ShardSpec:
+    """Declarative, picklable recipe for building one shard's Engine.
+
+    ``ops`` replays the setup calls in order; ``sinks`` lists the outputs
+    to stamp, as ``(sink_id, kind, target, ship)`` with kind ``"query"``
+    (collector or derived-stream output of a registered query) or
+    ``"stream"`` (an explicit :meth:`ShardedEngine.collect`), and ship
+    ``"all"`` (every shard emits) or ``"zero"`` (replicated output,
+    shard 0 only).
+    """
+
+    __slots__ = ("ops", "sinks", "compile_expressions")
+
+    def __init__(
+        self,
+        ops: Sequence[tuple],
+        sinks: Sequence[tuple[str, str, str, str]],
+        compile_expressions: bool,
+    ) -> None:
+        self.ops = list(ops)
+        self.sinks = list(sinks)
+        self.compile_expressions = compile_expressions
+
+
+class _ShardRuntime:
+    """One shard: a full Engine built from a :class:`ShardSpec`.
+
+    Lives in-process (serial executor) or inside a worker process
+    (parallel executor).  All mutation goes through :meth:`ingest`,
+    :meth:`advance`, and :meth:`flush`, each of which drains newly
+    emitted rows into stamped per-sink buffers.
+    """
+
+    def __init__(self, spec: ShardSpec, shard: int, n_shards: int) -> None:
+        self.shard = shard
+        self.n_shards = n_shards
+        self.engine = Engine(compile_expressions=spec.compile_expressions)
+        self.handles: dict[str, QueryHandle] = {}
+        for op in spec.ops:
+            kind = op[0]
+            if kind == "stream":
+                _, name, schema, ooo, slack = op
+                self.engine.create_stream(name, schema, ooo, slack)
+            elif kind == "table":
+                _, name, schema = op
+                self.engine.create_table(name, schema)
+            elif kind == "udf":
+                _, name, fn, strict = op
+                self.engine.register_udf(name, fn, strict=strict)
+            elif kind == "query":
+                _, text, label = op
+                self.handles[label] = self.engine.query(text, name=label)
+            else:  # pragma: no cover - spec is built by ShardedEngine only
+                raise EslSemanticError(f"unknown shard op {kind!r}")
+        self._sinks: list[StampedSink] = []
+        for sink_id, kind, target, ship in spec.sinks:
+            if ship == "zero" and shard != 0:
+                continue  # replicated output: suppress duplicates
+            if kind == "query":
+                handle = self.handles[target]
+                if handle._collector is not None:
+                    backing = handle._collector.results
+                elif handle.output is not None:
+                    backing = self.engine.collect(handle.output.name).results
+                else:
+                    continue  # table sink: read via table_rows(), no stamps
+            else:
+                backing = self.engine.collect(target).results
+            self._sinks.append(StampedSink(sink_id, shard, backing))
+        self._ingesters: dict[str, Callable[[Any, float], Tuple]] = {}
+        self._advance_if_due = self.engine.clock.advance_if_due
+
+    def _drain(self, g: int) -> None:
+        for sink in self._sinks:
+            sink.drain(g)
+
+    def ingest(self, g: int, stream: str, values: Any, ts: float) -> None:
+        self._advance_if_due(ts)
+        ingest = self._ingesters.get(stream)
+        if ingest is None:
+            ingest = self._ingesters[stream] = self.engine.streams.get(
+                stream
+            ).batch_ingester()
+        ingest(values, ts)
+        self._drain(g)
+
+    def advance(self, g: int, ts: float) -> None:
+        """Clock broadcast: fire timers due at or before *ts*.
+
+        Monotone-clamped (a stale heartbeat is a no-op) because batched
+        hand-off can re-deliver an epoch boundary a shard already passed.
+        """
+        clock = self.engine.clock
+        if clock._now is None or ts > clock._now:
+            self._advance_if_due(ts)
+        self._drain(g)
+
+    def flush(self, g: int) -> None:
+        self.engine.flush()
+        self._drain(g)
+
+    def take_outputs(self) -> dict[str, list[StampedRow]]:
+        """Stamped rows accumulated since the last take (picklable)."""
+        out: dict[str, list[StampedRow]] = {}
+        for sink in self._sinks:
+            if sink.rows:
+                out[sink.sink_id] = sink.take()
+        return out
+
+    def query_state_size(self, label: str) -> int:
+        operator = getattr(self.handles[label], "operator", None)
+        return getattr(operator, "state_size", 0) if operator is not None else 0
+
+    def table_rows(self, name: str) -> list[dict[str, Any]]:
+        return list(self.engine.tables.get(name).scan())
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+class _SerialExecutor:
+    """Reference executor: shards applied synchronously, in-process.
+
+    Per record, every non-target shard's clock advances *before* output
+    collection, so active-expiration timers fire at exactly the same
+    global record index ``g`` as they would inside a single engine.
+    """
+
+    def __init__(self, spec: ShardSpec, n_shards: int) -> None:
+        self._runtimes = [_ShardRuntime(spec, i, n_shards) for i in range(n_shards)]
+
+    def route_one(self, shard: int, g: int, stream: str, values: Any, ts: float) -> None:
+        for index, runtime in enumerate(self._runtimes):
+            if index == shard:
+                runtime.ingest(g, stream, values, ts)
+            else:
+                runtime.advance(g, ts)
+
+    def broadcast_one(self, g: int, stream: str, values: Any, ts: float) -> None:
+        for runtime in self._runtimes:
+            runtime.ingest(g, stream, values, ts)
+
+    def advance_all(self, g: int, ts: float) -> None:
+        for runtime in self._runtimes:
+            runtime.advance(g, ts)
+
+    def flush_all(self, g: int) -> None:
+        for runtime in self._runtimes:
+            runtime.flush(g)
+
+    def sync(self) -> None:  # everything is already applied
+        pass
+
+    def outputs(self) -> dict[str, list[list[StampedRow]]]:
+        runs: dict[str, list[list[StampedRow]]] = {}
+        n = len(self._runtimes)
+        for index, runtime in enumerate(self._runtimes):
+            for sink in runtime._sinks:
+                per_shard = runs.setdefault(sink.sink_id, [[] for _ in range(n)])
+                per_shard[index] = sink.rows
+        return runs
+
+    def query_state_sizes(self, label: str) -> list[int]:
+        return [runtime.query_state_size(label) for runtime in self._runtimes]
+
+    def table_rows(self, name: str) -> list[list[dict[str, Any]]]:
+        return [runtime.table_rows(name) for runtime in self._runtimes]
+
+    def close(self) -> None:
+        for runtime in self._runtimes:
+            runtime.engine.stop_all()
+
+
+# Worker-process state for the parallel executor.  Each shard has its own
+# single-worker pool, so exactly one runtime lives per worker process.
+_WORKER_RUNTIME: _ShardRuntime | None = None
+
+
+def _worker_init(spec: ShardSpec, shard: int, n_shards: int) -> None:
+    global _WORKER_RUNTIME
+    _WORKER_RUNTIME = _ShardRuntime(spec, shard, n_shards)
+
+
+def _worker_batch(
+    records: list[tuple[int, str, Any, float]], advance_to: tuple[int, float] | None
+) -> dict[str, list[StampedRow]]:
+    runtime = _WORKER_RUNTIME
+    assert runtime is not None
+    ingest = runtime.ingest
+    for g, stream, values, ts in records:
+        ingest(g, stream, values, ts)
+    if advance_to is not None:
+        runtime.advance(advance_to[0], advance_to[1])
+    return runtime.take_outputs()
+
+
+def _worker_flush(g: int) -> dict[str, list[StampedRow]]:
+    runtime = _WORKER_RUNTIME
+    assert runtime is not None
+    runtime.flush(g)
+    return runtime.take_outputs()
+
+
+def _worker_state_size(label: str) -> int:
+    assert _WORKER_RUNTIME is not None
+    return _WORKER_RUNTIME.query_state_size(label)
+
+
+def _worker_table_rows(name: str) -> list[dict[str, Any]]:
+    assert _WORKER_RUNTIME is not None
+    return _WORKER_RUNTIME.table_rows(name)
+
+
+class _ParallelExecutor:
+    """Process-backed executor: one worker process per shard.
+
+    Records accumulate in per-shard buffers; when any buffer reaches
+    ``batch_size`` the router dispatches *all* shards — loaded ones get
+    their records, idle ones get an empty batch carrying the clock
+    heartbeat — so windows and timeouts expire across every shard at each
+    batch epoch.  Worker affinity is strict: each shard's pool has
+    exactly one worker, so per-shard operator state never migrates.
+    """
+
+    def __init__(self, spec: ShardSpec, n_shards: int, batch_size: int) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        self._n = n_shards
+        self._batch_size = batch_size
+        self._pools = [
+            ProcessPoolExecutor(
+                max_workers=1, initializer=_worker_init, initargs=(spec, i, n_shards)
+            )
+            for i in range(n_shards)
+        ]
+        self._buffers: list[list[tuple[int, str, Any, float]]] = [
+            [] for _ in range(n_shards)
+        ]
+        self._pending: list[deque] = [deque() for _ in range(n_shards)]
+        self._runs: dict[str, list[list[StampedRow]]] = {}
+        self._max_ts: float | None = None
+        self._max_g = 0
+
+    def _absorb(self, shard: int, outputs: dict[str, list[StampedRow]]) -> None:
+        for sink_id, rows in outputs.items():
+            per_shard = self._runs.setdefault(sink_id, [[] for _ in range(self._n)])
+            per_shard[shard].extend(rows)
+
+    def _harvest_ready(self, shard: int) -> None:
+        pending = self._pending[shard]
+        while pending and pending[0].done():
+            self._absorb(shard, pending.popleft().result())
+
+    def _dispatch_all(self, advance_to: tuple[int, float] | None) -> None:
+        for shard, pool in enumerate(self._pools):
+            records = self._buffers[shard]
+            if not records and advance_to is None:
+                continue
+            self._buffers[shard] = []
+            self._pending[shard].append(
+                pool.submit(_worker_batch, records, advance_to)
+            )
+            self._harvest_ready(shard)
+
+    def _note(self, g: int, ts: float) -> None:
+        self._max_g = g
+        if self._max_ts is None or ts > self._max_ts:
+            self._max_ts = ts
+
+    def route_one(self, shard: int, g: int, stream: str, values: Any, ts: float) -> None:
+        self._note(g, ts)
+        buffer = self._buffers[shard]
+        buffer.append((g, stream, values, ts))
+        if len(buffer) >= self._batch_size:
+            self._dispatch_all((g, self._max_ts))
+
+    def broadcast_one(self, g: int, stream: str, values: Any, ts: float) -> None:
+        self._note(g, ts)
+        record = (g, stream, values, ts)
+        full = False
+        for buffer in self._buffers:
+            buffer.append(record)
+            full = full or len(buffer) >= self._batch_size
+        if full:
+            self._dispatch_all((g, self._max_ts))
+
+    def advance_all(self, g: int, ts: float) -> None:
+        self._note(g, ts)
+        self._dispatch_all((g, ts))
+
+    def flush_all(self, g: int) -> None:
+        self._dispatch_all(None)
+        for shard, pool in enumerate(self._pools):
+            self._pending[shard].append(pool.submit(_worker_flush, g))
+        self.sync()
+
+    def sync(self) -> None:
+        """Barrier: drain buffers, then absorb every outstanding future."""
+        if any(self._buffers):
+            advance = (
+                None
+                if self._max_ts is None
+                else (self._max_g, self._max_ts)
+            )
+            self._dispatch_all(advance)
+        for shard in range(self._n):
+            pending = self._pending[shard]
+            while pending:
+                self._absorb(shard, pending.popleft().result())
+
+    def outputs(self) -> dict[str, list[list[StampedRow]]]:
+        self.sync()
+        return self._runs
+
+    def query_state_sizes(self, label: str) -> list[int]:
+        self.sync()
+        futures = [pool.submit(_worker_state_size, label) for pool in self._pools]
+        return [future.result() for future in futures]
+
+    def table_rows(self, name: str) -> list[list[dict[str, Any]]]:
+        self.sync()
+        futures = [pool.submit(_worker_table_rows, name) for pool in self._pools]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        try:
+            self.sync()
+        finally:
+            for pool in self._pools:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+class ShardedQueryHandle:
+    """Handle for a query (or collected stream) on a :class:`ShardedEngine`.
+
+    API-compatible with :class:`~repro.dsms.engine.QueryHandle` where that
+    makes sense for merged output: ``results`` / ``rows()`` return the
+    deterministically merged result stream; ``state_size`` sums operator
+    state across shards.  Sequence numbers are re-assigned by the merge
+    (shard-local numbering cannot survive a union), so compare merged
+    tuples by value/timestamp, not ``seq``.
+    """
+
+    def __init__(
+        self,
+        sharded: "ShardedEngine",
+        name: str,
+        kind: str,  # "collector" | "stream" | "table" | "ddl"
+        *,
+        sink_id: str | None = None,
+        schema: Schema | None = None,
+        stream_name: str = "",
+        table_name: str | None = None,
+        partition_field: str | None = None,
+        replicated: bool = False,
+    ) -> None:
+        self.sharded = sharded
+        self.name = name
+        self.kind = kind
+        self.sink_id = sink_id
+        self.schema = schema
+        self.stream_name = stream_name
+        self.table_name = table_name
+        self.partition_field = partition_field
+        self.replicated = replicated
+        self.stopped = False
+        # Scenario/rows() compatibility: anything with readable output
+        # reports a truthy collector so callers take the .rows() path.
+        self._collector = None if kind == "ddl" else self
+
+    @property
+    def results(self) -> list[Tuple]:
+        """Merged output tuples, in deterministic single-engine order."""
+        if self.kind not in ("collector", "stream"):
+            raise EslSemanticError(
+                f"query {self.name!r} has no tuple output stream "
+                f"(kind={self.kind}); use rows()"
+            )
+        assert self.sink_id is not None and self.schema is not None
+        merged = self.sharded._merged(self.sink_id)
+        schema = self.schema
+        stream = self.stream_name
+        return [Tuple(schema, values, ts, stream) for ts, _g, _s, _l, values in merged]
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Merged output as plain dicts."""
+        if self.kind == "table":
+            assert self.table_name is not None
+            return self.sharded.table_rows(self.table_name)
+        if self.kind == "ddl":
+            return []
+        return [tup.as_dict() for tup in self.results]
+
+    @property
+    def state_size(self) -> int:
+        """Total retained operator state, summed across shards."""
+        return sum(self.sharded._executor_for_stats().query_state_sizes(self.name))
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedQueryHandle({self.name!r}, kind={self.kind}, "
+            f"{'replicated' if self.replicated else 'partitioned'})"
+        )
+
+
+class ShardedEngine:
+    """N hash-partitioned Engine shards behind the single-engine API.
+
+    See the module docstring for routing rules and executor semantics.
+
+    Args:
+        n_shards: number of inner engines (>= 1).
+        executor: ``'serial'`` (in-process reference) or ``'parallel'``
+            (one worker process per shard, batched hand-off).
+        shard_by: explicit ``{stream_name: key_field}`` routing overrides;
+            takes precedence over hoisted partition keys.
+        compile_expressions: forwarded to every inner Engine.
+        batch_size: records buffered per shard before a parallel hand-off.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        executor: str = "serial",
+        shard_by: Mapping[str, str] | None = None,
+        compile_expressions: bool = True,
+        batch_size: int = 2048,
+    ) -> None:
+        if n_shards < 1:
+            raise EslSemanticError(f"n_shards must be >= 1, got {n_shards}")
+        if executor not in ("serial", "parallel"):
+            raise EslSemanticError(
+                f"unknown executor {executor!r}: expected 'serial' or 'parallel'"
+            )
+        self.n_shards = n_shards
+        self.executor_kind = executor
+        self.batch_size = batch_size
+        self.compile_expressions = compile_expressions
+        self.shard_by = {
+            name.lower(): field.lower() for name, field in (shard_by or {}).items()
+        }
+        # The catalog engine holds schemas and compiled query metadata for
+        # routing decisions; it never receives data.
+        self.catalog = Engine(compile_expressions=compile_expressions)
+        self._ops: list[tuple] = []
+        self._sink_specs: list[tuple[str, str, str]] = []  # (sink_id, kind, target)
+        self._routes: dict[str, _Route] = {}
+        self._handles: dict[str, ShardedQueryHandle] = {}
+        self._table_replicated: dict[str, bool] = {}
+        self._executor: _SerialExecutor | _ParallelExecutor | None = None
+        self._g = 0
+        self._max_ts: float | None = None
+        self._query_counter = 0
+
+    # -- setup (pre-freeze) ---------------------------------------------
+
+    def _ensure_setup_open(self, what: str) -> None:
+        if self._executor is not None:
+            raise EslSemanticError(
+                f"cannot {what} after data has been pushed: a ShardedEngine "
+                "freezes its configuration at the first push/advance"
+            )
+
+    def _route_entry(self, name: str) -> _Route:
+        key = name.lower()
+        route = self._routes.get(key)
+        if route is None:
+            route = self._routes[key] = _Route(key)
+        return route
+
+    def create_stream(
+        self,
+        name: str,
+        schema: Schema | str | Iterable[str],
+        allow_out_of_order: bool = False,
+        reorder_slack: float = 0.0,
+    ):
+        self._ensure_setup_open("declare streams")
+        stream = self.catalog.create_stream(
+            name, schema, allow_out_of_order, reorder_slack
+        )
+        self._ops.append(
+            ("stream", name, stream.schema, allow_out_of_order, reorder_slack)
+        )
+        self._route_entry(name)
+        return stream
+
+    def create_table(self, name: str, schema: Schema | str | Iterable[str]):
+        self._ensure_setup_open("declare tables")
+        table = self.catalog.create_table(name, schema)
+        self._ops.append(("table", name, table.schema))
+        return table
+
+    def register_udf(self, name: str, fn: Callable[..., Any], strict: bool = True) -> None:
+        """Register a scalar UDF on every shard.
+
+        With the parallel executor the function must be importable/picklable
+        from worker processes (module-level functions are; lambdas are not
+        under the ``spawn`` start method).
+        """
+        self._ensure_setup_open("register UDFs")
+        self.catalog.register_udf(name, fn, strict=strict)
+        self._ops.append(("udf", name, fn, strict))
+
+    def collect(self, stream_name: str) -> ShardedQueryHandle:
+        """Merged collector over a stream (the sharded ``Engine.collect``)."""
+        self._ensure_setup_open("attach collectors")
+        stream = self.catalog.streams.get(stream_name)
+        key = stream.name.lower()
+        sink_id = f"s:{key}"
+        if all(spec[0] != sink_id for spec in self._sink_specs):
+            self._sink_specs.append((sink_id, "stream", stream.name))
+        handle = ShardedQueryHandle(
+            self,
+            f"collect:{key}",
+            "stream",
+            sink_id=sink_id,
+            schema=stream.schema,
+            stream_name=stream.name,
+        )
+        return handle
+
+    # -- query registration and routing ---------------------------------
+
+    def query(self, text: str, name: str | None = None) -> ShardedQueryHandle:
+        """Register an ESL-EV statement block on every shard.
+
+        Routing metadata is derived from the *last* statement in *text*
+        (the one whose handle a single Engine would return); register one
+        continuous SELECT per call so every query's routing is checked.
+        """
+        self._ensure_setup_open("register queries")
+        self._query_counter += 1
+        label = name or f"q{self._query_counter}"
+        catalog_handle = self.catalog.query(text, name=label)
+        self._ops.append(("query", text, label))
+        # DDL inside the text (or an auto-created INSERT INTO target) may
+        # have added streams; give them route entries.
+        for stream in self.catalog.streams:
+            self._route_entry(stream.name)
+
+        sources = catalog_handle.source_streams
+        if sources is None:  # pure DDL block: nothing to route
+            handle = ShardedQueryHandle(self, label, "ddl")
+            self._handles[label] = handle
+            return handle
+
+        replicated = self._resolve_routing(catalog_handle, label)
+
+        partition_field = catalog_handle.partition_field
+        sink_table = getattr(catalog_handle, "sink_table", None)
+        if catalog_handle.output is not None:
+            # INSERT INTO stream: route the derived stream for downstream
+            # consumers, and stamp its output for merged reads.
+            out_route = self._route_entry(catalog_handle.output.name)
+            if out_route.policy is None:
+                if replicated:
+                    out_route.policy = "broadcast"
+                else:
+                    out_route.policy = "hash"
+                    out_schema = catalog_handle.output.schema
+                    if partition_field is not None and any(
+                        field.lower() == partition_field
+                        for field in out_schema.names
+                    ):
+                        out_route.field = partition_field
+                out_route.owner = label
+            sink_id = f"q:{label}"
+            self._sink_specs.append((sink_id, "query", label))
+            handle = ShardedQueryHandle(
+                self,
+                label,
+                "stream",
+                sink_id=sink_id,
+                schema=catalog_handle.output.schema,
+                stream_name=catalog_handle.output.name,
+                partition_field=partition_field,
+                replicated=replicated,
+            )
+        elif catalog_handle._collector is not None:
+            sink_id = f"q:{label}"
+            self._sink_specs.append((sink_id, "query", label))
+            handle = ShardedQueryHandle(
+                self,
+                label,
+                "collector",
+                sink_id=sink_id,
+                schema=catalog_handle._collector.schema,
+                partition_field=partition_field,
+                replicated=replicated,
+            )
+        elif sink_table is not None:
+            self._table_replicated[sink_table.name.lower()] = replicated
+            handle = ShardedQueryHandle(
+                self,
+                label,
+                "table",
+                table_name=sink_table.name,
+                partition_field=partition_field,
+                replicated=replicated,
+            )
+        else:  # pragma: no cover - every SELECT has one of the three sinks
+            handle = ShardedQueryHandle(self, label, "ddl")
+        self._handles[label] = handle
+        return handle
+
+    def _resolve_routing(self, catalog_handle: QueryHandle, label: str) -> bool:
+        """Fix routing policies for the query's source streams.
+
+        Returns True when the query must run *replicated* (all sources
+        broadcast, output collected from shard 0).
+        """
+        sources = [name.lower() for name in (catalog_handle.source_streams or ())]
+        if not sources:
+            return True  # table-only FROM: every shard computes identically
+        partition_field = catalog_handle.partition_field
+        desired: dict[str, str | None] = {}
+        for source in sources:
+            schema = self.catalog.streams.get(source).schema
+            field = self.shard_by.get(source)
+            if field is None and partition_field is not None and any(
+                name.lower() == partition_field for name in schema.names
+            ):
+                field = partition_field
+            if field is not None and not any(
+                name.lower() == field for name in schema.names
+            ):
+                raise EslSemanticError(
+                    f"shard_by key {field!r} is not a field of stream "
+                    f"{source!r} ({', '.join(schema.names)})"
+                )
+            desired[source] = field
+
+        # A query is partitioned only when every source can be keyed AND no
+        # source is already pinned to broadcast; otherwise it is replicated
+        # and needs *all* of its sources on every shard.
+        existing = {source: self._routes[source] for source in desired}
+        partitioned = all(field is not None for field in desired.values()) and not any(
+            route.policy == "broadcast" for route in existing.values()
+        )
+        if not partitioned:
+            for source, route in existing.items():
+                if route.policy == "hash":
+                    raise EslSemanticError(
+                        f"query {label!r} needs stream {route.stream!r} on every "
+                        f"shard, but query {route.owner!r} hash-routes it by "
+                        f"{route.field!r}; run {label!r} on a separate "
+                        "ShardedEngine or add a shard_by override that keys "
+                        "this query too"
+                    )
+                route.policy = "broadcast"
+                route.owner = route.owner or label
+            return True
+        for source, route in existing.items():
+            field = desired[source]
+            if route.policy is None:
+                route.policy = "hash"
+                route.field = field
+                route.owner = label
+            elif route.field is None or route.field != field:
+                raise EslSemanticError(
+                    f"conflicting shard keys for stream {route.stream!r}: query "
+                    f"{route.owner!r} routes by {route.field!r}, query {label!r} "
+                    f"needs {field!r}; use shard_by to pick one key or run the "
+                    "queries on separate ShardedEngines"
+                )
+        return False
+
+    # -- freeze ----------------------------------------------------------
+
+    def _make_key_fn(self, stream_name: str, field: str) -> Callable[[Any], Any]:
+        schema = self.catalog.streams.get(stream_name).schema
+        actual = None
+        position = 0
+        for index, name in enumerate(schema.names):
+            if name.lower() == field:
+                actual, position = name, index
+                break
+        if actual is None:  # pragma: no cover - validated at routing time
+            raise EslSemanticError(
+                f"stream {stream_name!r} has no field {field!r}"
+            )
+
+        def key_of(values: Any) -> Any:
+            if isinstance(values, Mapping):
+                return values.get(actual)
+            return values[position]
+
+        return key_of
+
+    def _freeze(self) -> None:
+        if self._executor is not None:
+            return
+        for route in self._routes.values():
+            if route.policy is None:
+                # Never consumed by a partitioned query: broadcasting is
+                # always safe (replicated consumers read shard 0).
+                route.policy = "broadcast"
+            if route.policy == "hash" and route.field is not None:
+                route.key_fn = self._make_key_fn(route.stream, route.field)
+        sinks: list[tuple[str, str, str, str]] = []
+        for sink_id, kind, target in self._sink_specs:
+            if kind == "query":
+                ship = "zero" if self._handles[target].replicated else "all"
+            else:
+                route = self._routes[target.lower()]
+                ship = "zero" if route.policy == "broadcast" else "all"
+            sinks.append((sink_id, kind, target, ship))
+        spec = ShardSpec(self._ops, sinks, self.compile_expressions)
+        if self.executor_kind == "serial":
+            self._executor = _SerialExecutor(spec, self.n_shards)
+        else:
+            self._executor = _ParallelExecutor(spec, self.n_shards, self.batch_size)
+
+    def _executor_for_stats(self):
+        self._freeze()
+        return self._executor
+
+    # -- time & data -----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Latest timestamp routed through the engine (0.0 before any)."""
+        return self._max_ts if self._max_ts is not None else 0.0
+
+    def push(
+        self,
+        stream_name: str,
+        values: Mapping[str, Any] | Sequence[Any],
+        ts: float,
+    ) -> None:
+        """Route one record: hash-partitioned streams go to one shard (all
+        other shards receive the clock advance), broadcast streams go to
+        every shard.  Unlike :meth:`Engine.push` this cannot return the
+        delivered Tuple — with the parallel executor delivery happens in a
+        worker process."""
+        self._freeze()
+        route = self._routes.get(stream_name.lower())
+        if route is None:
+            self.catalog.streams.get(stream_name)  # raises UnknownStreamError
+            raise AssertionError("unreachable")  # pragma: no cover
+        ts = float(ts)
+        g = self._g
+        self._g = g + 1
+        if self._max_ts is None or ts > self._max_ts:
+            self._max_ts = ts
+        if route.policy == "hash":
+            key_fn = route.key_fn
+            if key_fn is None:
+                raise EslSemanticError(
+                    f"stream {route.stream!r} is partitioned by its producing "
+                    "query but carries no known shard key; it can be collected "
+                    "but not pushed to"
+                )
+            self._executor.route_one(
+                shard_of(key_fn(values), self.n_shards),
+                g,
+                route.stream,
+                values,
+                ts,
+            )
+        else:
+            self._executor.broadcast_one(g, route.stream, values, ts)
+
+    def push_batch(
+        self,
+        stream_name: str,
+        batch: Iterable[tuple[Mapping[str, Any] | Sequence[Any], float]],
+    ) -> int:
+        """Route many ``(values, ts)`` records to one stream."""
+        push = self.push
+        count = 0
+        for values, ts in batch:
+            push(stream_name, values, ts)
+            count += 1
+        return count
+
+    def run_trace(
+        self, trace: Iterable[tuple[str, Mapping[str, Any] | Sequence[Any], float]]
+    ) -> int:
+        """Route a whole ``(stream, values, ts)`` trace in order."""
+        push = self.push
+        count = 0
+        for stream_name, values, ts in trace:
+            push(stream_name, values, ts)
+            count += 1
+        return count
+
+    def advance_time(self, ts: float) -> None:
+        """Heartbeat: broadcast a clock advance to every shard."""
+        self._freeze()
+        ts = float(ts)
+        if self._max_ts is None or ts > self._max_ts:
+            self._max_ts = ts
+        self._executor.advance_all(self._g, ts)
+
+    def flush(self) -> None:
+        """End of stream: release reorder buffers, fire remaining timers."""
+        self._freeze()
+        self._executor.flush_all(self._g)
+
+    # -- merged reads ----------------------------------------------------
+
+    def _merged(self, sink_id: str) -> list[StampedRow]:
+        self._freeze()
+        runs = self._executor.outputs().get(sink_id)
+        if not runs:
+            return []
+        return list(merge_runs(runs))
+
+    def table_rows(self, name: str) -> list[dict[str, Any]]:
+        """Merged table contents.
+
+        Replicated tables (every shard computed the same rows) read from
+        shard 0; partitioned tables concatenate shard contents in shard
+        order — per-shard insert order is preserved, global order across
+        shards is not meaningful for tables (they carry no timestamps).
+        """
+        self._freeze()
+        per_shard = self._executor.table_rows(name)
+        if self._table_replicated.get(name.lower(), True):
+            return per_shard[0]
+        return [row for rows in per_shard for row in rows]
+
+    def handle(self, label: str) -> ShardedQueryHandle:
+        return self._handles[label]
+
+    def route_for(self, stream_name: str) -> tuple[str | None, str | None]:
+        """The (policy, field) a stream is routed by — for tests/tools."""
+        route = self._routes.get(stream_name.lower())
+        if route is None:
+            return (None, None)
+        return (route.policy, route.field)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down worker processes (parallel) / stop queries (serial)."""
+        if self._executor is not None:
+            self._executor.close()
+
+    stop_all = close
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEngine(n_shards={self.n_shards}, "
+            f"executor={self.executor_kind!r}, queries={len(self._handles)})"
+        )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..dsms.engine import Engine, QueryHandle
+from ..dsms.sharding import ShardedEngine
 from .workloads import WorkloadResult
 
 
@@ -20,8 +21,8 @@ class Scenario:
 
     def __init__(
         self,
-        engine: Engine,
-        handle: QueryHandle,
+        engine: Any,  # Engine or ShardedEngine (same feeding surface)
+        handle: Any,  # QueryHandle or ShardedQueryHandle
         workload: WorkloadResult,
         name: str,
     ) -> None:
@@ -87,6 +88,34 @@ def build_dedup(
     collector = engine.collect("cleaned_readings")
     handle = QueryHandle(engine, "dedup-out", None, collector)
     return Scenario(engine, handle, workload, "example1-dedup")
+
+
+def build_dedup_sharded(
+    workload: WorkloadResult,
+    n_shards: int = 4,
+    executor: str = "serial",
+    compile_expressions: bool = True,
+) -> Scenario:
+    """Example 1 dedup on a :class:`ShardedEngine`.
+
+    The dedup predicate correlates only within one ``tag_id`` (the EXISTS
+    window matches on the same reader *and* tag), so an explicit
+    ``shard_by`` keys the stream even though the equality lives inside the
+    sub-query where the analyzer cannot hoist it.
+    """
+    engine = ShardedEngine(
+        n_shards=n_shards,
+        executor=executor,
+        shard_by={"readings": "tag_id"},
+        compile_expressions=compile_expressions,
+    )
+    engine.create_stream("readings", "reader_id str, tag_id str, read_time float")
+    engine.create_stream(
+        "cleaned_readings", "reader_id str, tag_id str, read_time float"
+    )
+    engine.query(DEDUP_QUERY, name="dedup")
+    handle = engine.collect("cleaned_readings")
+    return Scenario(engine, handle, workload, "example1-dedup-sharded")
 
 
 # -- Example 2: location tracking ----------------------------------------------
@@ -178,18 +207,56 @@ WHERE (CLEVEL_SEQ(A1, A2, A3)
 OVER [1 HOURS FOLLOWING A1]) < 3
 """
 
+# Example 5 with the per-sample equality chain made explicit.  The paper's
+# verbatim query tracks one global automaton; this variant keys the
+# automaton by tagid — the form that partitions cleanly across shards (the
+# analyzer hoists the chain to partition_by exactly as in Example 6).
+WORKFLOW_PARTITIONED_QUERY = """
+SELECT A1.tagid, A2.tagid, A3.tagid
+FROM A1, A2, A3
+WHERE EXCEPTION_SEQ(A1, A2, A3)
+OVER [1 HOURS FOLLOWING A1]
+AND A1.tagid=A2.tagid AND A1.tagid=A3.tagid
+"""
+
 
 def build_lab_workflow(
     workload: WorkloadResult,
     use_clevel: bool = False,
+    partitioned: bool = False,
     compile_expressions: bool = True,
 ) -> Scenario:
     engine = Engine(compile_expressions=compile_expressions)
     for name in ("a1", "a2", "a3"):
         engine.create_stream(name, "tagid str, tagtime float")
-    query = WORKFLOW_CLEVEL_QUERY if use_clevel else WORKFLOW_QUERY
+    if use_clevel:
+        query = WORKFLOW_CLEVEL_QUERY
+    elif partitioned:
+        query = WORKFLOW_PARTITIONED_QUERY
+    else:
+        query = WORKFLOW_QUERY
     handle = engine.query(query, name="workflow")
     return Scenario(engine, handle, workload, "example5-workflow")
+
+
+def build_lab_workflow_sharded(
+    workload: WorkloadResult,
+    n_shards: int = 4,
+    executor: str = "serial",
+    compile_expressions: bool = True,
+) -> Scenario:
+    """Example 5 on a :class:`ShardedEngine`, using the tagid-partitioned
+    query variant.  Active-expiration timeouts fire on every shard via the
+    broadcast clock, so timer-driven violations merge deterministically."""
+    engine = ShardedEngine(
+        n_shards=n_shards,
+        executor=executor,
+        compile_expressions=compile_expressions,
+    )
+    for name in ("a1", "a2", "a3"):
+        engine.create_stream(name, "tagid str, tagtime float")
+    handle = engine.query(WORKFLOW_PARTITIONED_QUERY, name="workflow")
+    return Scenario(engine, handle, workload, "example5-workflow-sharded")
 
 
 # -- Example 6: four-step quality check ---------------------------------------------
@@ -201,6 +268,25 @@ WHERE SEQ(C1, C2, C3, C4)
 AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
 AND C1.tagid=C4.tagid
 """
+
+
+def quality_query_text(
+    mode: str | None = "RECENT", window_minutes: float | None = None
+) -> str:
+    """Example 6's query text, optionally with MODE / the windowed variant."""
+    query = QUALITY_QUERY
+    if window_minutes is not None:
+        query = query.replace(
+            "WHERE SEQ(C1, C2, C3, C4)",
+            f"WHERE SEQ(C1, C2, C3, C4) OVER [{window_minutes:g} MINUTES "
+            "PRECEDING C4]",
+        )
+    if mode is not None:
+        query = query.replace(
+            "AND C1.tagid=C2.tagid",
+            f"MODE {mode}\nAND C1.tagid=C2.tagid",
+        )
+    return query
 
 
 def build_quality_check(
@@ -217,20 +303,34 @@ def build_quality_check(
     engine = Engine(compile_expressions=compile_expressions)
     for name in ("c1", "c2", "c3", "c4"):
         engine.create_stream(name, "readerid str, tagid str, tagtime float")
-    query = QUALITY_QUERY
-    if window_minutes is not None:
-        query = query.replace(
-            "WHERE SEQ(C1, C2, C3, C4)",
-            f"WHERE SEQ(C1, C2, C3, C4) OVER [{window_minutes:g} MINUTES "
-            "PRECEDING C4]",
-        )
-    if mode is not None:
-        query = query.replace(
-            "AND C1.tagid=C2.tagid",
-            f"MODE {mode}\nAND C1.tagid=C2.tagid",
-        )
-    handle = engine.query(query, name="quality")
+    handle = engine.query(quality_query_text(mode, window_minutes), name="quality")
     return Scenario(engine, handle, workload, "example6-quality")
+
+
+def build_quality_check_sharded(
+    workload: WorkloadResult,
+    n_shards: int = 4,
+    executor: str = "serial",
+    mode: str | None = "RECENT",
+    window_minutes: float | None = None,
+    compile_expressions: bool = True,
+    batch_size: int = 2048,
+) -> Scenario:
+    """Example 6 on a :class:`ShardedEngine`.
+
+    The query's tagid equality chain is hoisted to a partition key by the
+    analyzer, so every input stream hash-routes by tagid with no overrides.
+    """
+    engine = ShardedEngine(
+        n_shards=n_shards,
+        executor=executor,
+        compile_expressions=compile_expressions,
+        batch_size=batch_size,
+    )
+    for name in ("c1", "c2", "c3", "c4"):
+        engine.create_stream(name, "readerid str, tagid str, tagtime float")
+    handle = engine.query(quality_query_text(mode, window_minutes), name="quality")
+    return Scenario(engine, handle, workload, "example6-quality-sharded")
 
 
 # -- Example 8: door security ----------------------------------------------------

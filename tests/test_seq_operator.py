@@ -286,3 +286,45 @@ class TestPartitioning:
         )
         feed_tagged(engine, [("a", "t1", 1.0), ("b", "t2", 2.0)])
         assert op.matches == []
+
+
+class TestWindowedStateBounded:
+    """A window bounds history even for partitions that stop receiving
+    tuples: the amortized cross-partition sweep must evict idle tags, or
+    UNRESTRICTED mode leaks one history per tag forever."""
+
+    def run_idle_tags(self, n_tags, window):
+        engine = Engine()
+        op = build(
+            engine, ["a", "b"], PairingMode.UNRESTRICTED, window=window,
+            partition_by=lambda t: t["tagid"],
+        )
+        # Every tag emits one 'a' and never completes; virtual time keeps
+        # moving, so old tags slide entirely out of the window.
+        for i in range(n_tags):
+            engine.push("a", {"tagid": f"t{i}", "tagtime": float(i)}, ts=float(i))
+        return op
+
+    def test_unrestricted_window_state_is_bounded(self):
+        window = OperatorWindow(10.0, 1, "preceding")
+        op = self.run_idle_tags(300, window)
+        # Only tags within the last window (plus at most one sweep period
+        # of lag) may retain history; the other ~280 must be gone.
+        assert op.state_size <= 2 * window.duration + 2
+        assert len(op._partitions) <= 2 * window.duration + 2
+
+    def test_windowed_matches_survive_sweep(self):
+        engine = Engine()
+        window = OperatorWindow(10.0, 1, "preceding")
+        op = build(
+            engine, ["a", "b"], PairingMode.UNRESTRICTED, window=window,
+            partition_by=lambda t: t["tagid"],
+        )
+        feed_tagged(engine, [
+            ("a", "t1", 1.0),
+            ("a", "t2", 2.0),                        # never completes
+            ("b", "t1", 5.0),                        # in-window pair
+            ("a", "t3", 40.0), ("b", "t3", 45.0),    # later pair, after sweep
+        ])
+        assert sorted(chains(op)) == [[1.0, 5.0], [40.0, 45.0]]
+        assert "t2" not in op._partitions

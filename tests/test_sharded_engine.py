@@ -1,0 +1,262 @@
+"""Differential tests: ShardedEngine output equals a single Engine's.
+
+The sharded engine's contract is *indistinguishability*: for any workload,
+the merged output stream — tuples, values, and order — must be exactly
+what one Engine produces, at every shard count, under both executors.
+These tests run the paper scenarios through both paths and compare row
+lists (not sets): order is part of the contract.
+"""
+
+import pytest
+
+from repro.dsms import Engine, ShardedEngine
+from repro.dsms.errors import EslSemanticError
+from repro.rfid import (
+    build_dedup,
+    build_dedup_sharded,
+    build_lab_workflow,
+    build_lab_workflow_sharded,
+    build_quality_check,
+    build_quality_check_sharded,
+    dedup_workload,
+    lab_workflow_workload,
+    quality_check_workload,
+    quality_query_text,
+)
+from repro.rfid.scenarios import DEDUP_QUERY
+
+
+QUALITY_DDL = [
+    ("c1", "readerid str, tagid str, tagtime float"),
+    ("c2", "readerid str, tagid str, tagtime float"),
+    ("c3", "readerid str, tagid str, tagtime float"),
+    ("c4", "readerid str, tagid str, tagtime float"),
+]
+
+
+def quality_rows(workload):
+    scenario = build_quality_check(workload).feed()
+    return scenario.rows(), scenario.handle.results
+
+
+# -- Example 6: hash-partitioned SEQ ---------------------------------------
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 8])
+def test_quality_serial_matches_single(n_shards):
+    workload = quality_check_workload(n_products=60, seed=31)
+    expected_rows, expected_results = quality_rows(workload)
+    scenario = build_quality_check_sharded(workload, n_shards=n_shards).feed()
+    try:
+        assert scenario.rows() == expected_rows
+        # Tuple-level equality: timestamps and values, in order.
+        got = [(t.ts, t.values) for t in scenario.handle.results]
+        assert got == [(t.ts, t.values) for t in expected_results]
+    finally:
+        scenario.engine.close()
+
+
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_quality_parallel_matches_single(n_shards):
+    workload = quality_check_workload(n_products=40, seed=32)
+    expected_rows, _ = quality_rows(workload)
+    scenario = build_quality_check_sharded(
+        workload, n_shards=n_shards, executor="parallel", batch_size=64
+    ).feed()
+    try:
+        assert scenario.rows() == expected_rows
+    finally:
+        scenario.engine.close()
+
+
+def test_quality_routes_by_hoisted_tagid_chain():
+    workload = quality_check_workload(n_products=10, seed=33)
+    scenario = build_quality_check_sharded(workload, n_shards=4)
+    try:
+        for stream in ("c1", "c2", "c3", "c4"):
+            assert scenario.engine.route_for(stream) == ("hash", "tagid")
+        assert scenario.handle.partition_field == "tagid"
+    finally:
+        scenario.engine.close()
+
+
+def test_quality_state_partitions_across_shards():
+    """Hash-routed per-tag partitions are disjoint: shard operator states
+    sum to the single engine's state."""
+    workload = quality_check_workload(n_products=50, seed=34)
+    single = build_quality_check(workload).feed()
+    sharded = build_quality_check_sharded(workload, n_shards=4).feed()
+    try:
+        assert sharded.handle.state_size == single.handle.operator.state_size
+    finally:
+        sharded.engine.close()
+
+
+# -- Example 1: dedup (shard_by override, and broadcast fallback) ----------
+
+
+def test_dedup_sharded_matches_single():
+    workload = dedup_workload(n_tags=20, presences_per_tag=3, seed=41)
+    expected = build_dedup(workload).feed().rows()
+    scenario = build_dedup_sharded(workload, n_shards=4).feed()
+    try:
+        assert scenario.engine.route_for("readings") == ("hash", "tag_id")
+        assert scenario.rows() == expected
+    finally:
+        scenario.engine.close()
+
+
+def test_dedup_parallel_matches_single():
+    workload = dedup_workload(n_tags=15, presences_per_tag=3, seed=42)
+    expected = build_dedup(workload).feed().rows()
+    scenario = build_dedup_sharded(
+        workload, n_shards=2, executor="parallel"
+    ).feed()
+    try:
+        assert scenario.rows() == expected
+    finally:
+        scenario.engine.close()
+
+
+def test_dedup_without_key_falls_back_to_broadcast():
+    """No shard_by and no hoisted key: the query runs replicated (every
+    shard sees every tuple, output ships from shard 0) and still matches."""
+    workload = dedup_workload(n_tags=12, presences_per_tag=3, seed=43)
+    expected = build_dedup(workload).feed().rows()
+    engine = ShardedEngine(n_shards=3)
+    try:
+        engine.create_stream(
+            "readings", "reader_id str, tag_id str, read_time float"
+        )
+        engine.create_stream(
+            "cleaned_readings", "reader_id str, tag_id str, read_time float"
+        )
+        engine.query(DEDUP_QUERY, name="dedup")
+        handle = engine.collect("cleaned_readings")
+        engine.run_trace(workload.trace)
+        engine.flush()
+        assert engine.route_for("readings") == ("broadcast", None)
+        assert handle.rows() == expected
+    finally:
+        engine.close()
+
+
+# -- Example 5: EXCEPTION_SEQ with timer-driven violations -----------------
+
+
+@pytest.mark.parametrize("n_shards,executor", [
+    (1, "serial"), (2, "serial"), (8, "serial"), (2, "parallel"),
+])
+def test_workflow_exception_seq_matches_single(n_shards, executor):
+    """Active-expiration timeouts fire via the broadcast clock; violation
+    tuples (timer outputs) must merge into the single engine's order."""
+    workload = lab_workflow_workload(n_runs=30, violation_rate=0.4, seed=44)
+    single = build_lab_workflow(workload, partitioned=True).feed(
+        advance_to=1e9
+    )
+    expected = single.rows()
+    assert expected, "workload must produce violations for this test"
+    scenario = build_lab_workflow_sharded(
+        workload, n_shards=n_shards, executor=executor
+    ).feed(advance_to=1e9)
+    try:
+        assert scenario.rows() == expected
+    finally:
+        scenario.engine.close()
+
+
+# -- routing conflicts and lifecycle ---------------------------------------
+
+
+def _quality_engine(n_shards=2, **kw):
+    engine = ShardedEngine(n_shards=n_shards, **kw)
+    for name, schema in QUALITY_DDL:
+        engine.create_stream(name, schema)
+    return engine
+
+
+def test_keyless_query_after_hash_route_raises():
+    engine = _quality_engine()
+    try:
+        engine.query(quality_query_text(), name="quality")
+        with pytest.raises(EslSemanticError, match="every\\s+shard"):
+            engine.query("SELECT count(tagid) FROM c1", name="tally")
+    finally:
+        engine.close()
+
+
+def test_conflicting_shard_keys_raise():
+    engine = ShardedEngine(n_shards=2)
+    try:
+        for name in ("x", "y", "z"):
+            engine.create_stream(name, "a str, b str, t float")
+        engine.query(
+            "SELECT x2.a FROM x AS x1, y AS x2 "
+            "WHERE SEQ(x1, x2) AND x1.a=x2.a",
+            name="by_a",
+        )
+        assert engine.route_for("x") == ("hash", "a")
+        with pytest.raises(EslSemanticError, match="conflicting shard keys"):
+            engine.query(
+                "SELECT x2.b FROM x AS x1, z AS x2 "
+                "WHERE SEQ(x1, x2) AND x1.b=x2.b",
+                name="by_b",
+            )
+    finally:
+        engine.close()
+
+
+def test_shard_by_unknown_field_raises():
+    engine = _quality_engine(shard_by={"c1": "serial_no"})
+    try:
+        with pytest.raises(EslSemanticError, match="serial_no"):
+            engine.query(quality_query_text(), name="quality")
+    finally:
+        engine.close()
+
+
+def test_broadcast_then_partitioned_runs_replicated():
+    """A broadcast pin (from an earlier keyless query) demotes a later
+    partitionable query to replicated — correct, just not parallel."""
+    workload = quality_check_workload(n_products=25, seed=45)
+    single_engine = Engine()
+    for name, schema in QUALITY_DDL:
+        single_engine.create_stream(name, schema)
+    tally_single = single_engine.query("SELECT count(tagid) FROM c1", name="t")
+    quality_single = single_engine.query(quality_query_text(), name="q")
+    single_engine.run_trace(workload.trace)
+    single_engine.flush()
+
+    engine = _quality_engine(n_shards=3)
+    try:
+        tally = engine.query("SELECT count(tagid) FROM c1", name="t")
+        quality = engine.query(quality_query_text(), name="q")
+        assert quality.replicated
+        for stream in ("c1", "c2", "c3", "c4"):
+            assert engine.route_for(stream) == ("broadcast", None)
+        engine.run_trace(workload.trace)
+        engine.flush()
+        assert tally.rows() == tally_single.rows()
+        assert quality.rows() == quality_single.rows()
+    finally:
+        engine.close()
+
+
+def test_setup_after_first_push_raises():
+    engine = _quality_engine()
+    try:
+        engine.query(quality_query_text(), name="quality")
+        engine.push(
+            "c1", {"readerid": "r", "tagid": "t", "tagtime": 1.0}, ts=1.0
+        )
+        with pytest.raises(EslSemanticError, match="freezes"):
+            engine.create_stream("late", "a str")
+    finally:
+        engine.close()
+
+
+def test_invalid_constructor_args():
+    with pytest.raises(EslSemanticError):
+        ShardedEngine(n_shards=0)
+    with pytest.raises(EslSemanticError):
+        ShardedEngine(executor="threads")

@@ -177,3 +177,32 @@ class TestCliDemos:
         assert code == 0
         assert "scenario:" in captured.err
         assert "output rows:" in captured.err
+
+
+class TestBenchSubcommand:
+    def test_bench_writes_report(self, tmp_path, capsys):
+        code = main([
+            "bench", "sharded_scaling",
+            "--out", str(tmp_path), "--reps", "1", "--size", "20",
+            "--executor", "serial",
+        ])
+        assert code == 0
+        report_path = tmp_path / "BENCH_sharded_scaling.json"
+        assert report_path.exists()
+        import json
+
+        payload = json.loads(report_path.read_text())
+        assert payload["name"] == "sharded_scaling"
+        assert "cpu_count" in payload["meta"]
+        labels = [entry["label"] for entry in payload["experiments"]]
+        assert "single-engine" in labels
+        curve = next(
+            entry for entry in payload["experiments"]
+            if entry.get("kind") == "scaling_curve"
+        )
+        assert [point["shards"] for point in curve["curve"]] == [1, 2, 4, 8]
+        assert "speedup" in curve["curve"][0]
+
+    def test_bench_unknown_name(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "no_such_benchmark"])
