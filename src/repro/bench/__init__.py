@@ -12,8 +12,10 @@ from .metrics import Accuracy, containment_accuracy, summarize_rows, throughput
 from .runners import (
     BENCH_RUNNERS,
     effective_cpu_count,
+    run_operator_state,
     run_sharded_scaling,
     scaling_speedup,
+    weak_efficiency,
 )
 
 __all__ = [
@@ -26,9 +28,11 @@ __all__ = [
     "effective_cpu_count",
     "measure_latencies",
     "percentile",
+    "run_operator_state",
     "run_sharded_scaling",
     "scaling_speedup",
     "summarize_rows",
     "sweep",
     "throughput",
+    "weak_efficiency",
 ]

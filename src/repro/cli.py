@@ -166,9 +166,12 @@ def build_bench_parser() -> argparse.ArgumentParser:
 
 
 def run_bench(argv: Sequence[str]) -> int:
+    import inspect
+
     from .bench import BENCH_RUNNERS
 
     args = build_bench_parser().parse_args(argv)
+    runner = BENCH_RUNNERS[args.name]
     kwargs: dict = {}
     if args.reps is not None:
         kwargs["reps"] = args.reps
@@ -176,7 +179,14 @@ def run_bench(argv: Sequence[str]) -> int:
         kwargs["n_products"] = args.size
     if args.executor is not None:
         kwargs["executor"] = args.executor
-    report = BENCH_RUNNERS[args.name](**kwargs)
+    accepted = inspect.signature(runner).parameters
+    dropped = sorted(set(kwargs) - set(accepted))
+    if dropped:
+        print(
+            f"# {args.name} ignores: {', '.join(dropped)}", file=sys.stderr
+        )
+        kwargs = {key: kwargs[key] for key in kwargs if key in accepted}
+    report = runner(**kwargs)
     path = report.write(args.out)
     print(f"# wrote {path}", file=sys.stderr)
     for entry in report.experiments:
@@ -188,12 +198,26 @@ def run_bench(argv: Sequence[str]) -> int:
                     f"speedup={point['speedup']:.2f}x",
                     file=sys.stderr,
                 )
-        else:
-            print(
-                f"{entry['label']}: {entry['throughput_tuples_per_s']:,.0f} "
-                "tuples/s",
-                file=sys.stderr,
-            )
+            continue
+        line = (
+            f"{entry['label']}: {entry['throughput_tuples_per_s']:,.0f} "
+            "tuples/s"
+        )
+        latency = entry.get("latency_us")
+        if latency:
+            line += f" p99={latency['p99']:.0f}us"
+        if entry.get("state_size") is not None:
+            line += f" peak_state={entry['state_size']}"
+        if "max_tick_touches" in entry:
+            line += f" max_tick_touches={entry['max_tick_touches']}"
+        if "speedup_vs_single" in entry:
+            line += f" speedup={entry['speedup_vs_single']:.2f}x"
+        if entry.get("cpu_limited"):
+            line += " (cpu-limited)"
+        print(line, file=sys.stderr)
+    speedup = report.meta.get("speedup_indexed_vs_naive")
+    if speedup:
+        print(f"# indexed vs naive: {speedup:.2f}x", file=sys.stderr)
     return 0
 
 

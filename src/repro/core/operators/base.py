@@ -167,6 +167,21 @@ class SeqMatch:
         self.bindings = dict(bindings)
         self.ts = ts
 
+    @classmethod
+    def owned(
+        cls,
+        args: tuple["SeqArg", ...],
+        bindings: dict[str, Tuple | list[Tuple]],
+        ts: float,
+    ) -> "SeqMatch":
+        """Construct from an args tuple and bindings dict the caller hands
+        over (no defensive copies) — the operator emission hot path."""
+        match = cls.__new__(cls)
+        match.args = args
+        match.bindings = bindings
+        match.ts = ts
+        return match
+
     def _lookup(self, alias: str) -> Tuple | list[Tuple]:
         if alias in self.bindings:
             return self.bindings[alias]

@@ -134,9 +134,10 @@ OutcomeCallback = Callable[[SequenceOutcome], None]
 class _SequenceState:
     """Per-partition automaton state: one run list per entered stage."""
 
-    __slots__ = ("runs", "timer", "generation")
+    __slots__ = ("key", "runs", "timer", "generation")
 
-    def __init__(self) -> None:
+    def __init__(self, key: Any = None) -> None:
+        self.key = key
         self.runs: list[list[Tuple]] = []
         self.timer: Timer | None = None
         self.generation = 0  # bumps on reset, so stale timers no-op
@@ -248,9 +249,25 @@ class ExceptionSeqOperator:
         key = self.partition_by(tup) if self.partition_by else None
         state = self._states.get(key)
         if state is None:
-            state = _SequenceState()
+            state = _SequenceState(key)
             self._states[key] = state
         return state
+
+    def _release_if_idle(self, state: _SequenceState) -> None:
+        """Drop an empty automaton from the state table.
+
+        An idle state (no bound runs, no armed timer) is indistinguishable
+        from a fresh one, so releasing it changes no outcome — it just keeps
+        the table from accumulating one entry per key ever seen (one-shot
+        tags would otherwise leak).  The identity check guards against a
+        stale timer callback releasing a *successor* state at the same key.
+        """
+        if (
+            not state.runs
+            and state.timer is None
+            and self._states.get(state.key) is state
+        ):
+            del self._states[state.key]
 
     def _bindings_of(
         self, runs: Sequence[Sequence[Tuple]]
@@ -287,6 +304,10 @@ class ExceptionSeqOperator:
 
     def _on_tuple(self, tup: Tuple) -> None:
         state = self._state_for(tup)
+        self._step(state, tup)
+        self._release_if_idle(state)
+
+    def _step(self, state: _SequenceState, tup: Tuple) -> None:
         stream = tup.stream.lower()
         level = state.level
         # 1. Extend an open star stage.
@@ -345,6 +366,7 @@ class ExceptionSeqOperator:
                 return
             self._fail(state, ExceptionReason.WINDOW_EXPIRED, None, fired_at)
             state.reset()
+            self._release_if_idle(state)
 
         state.timer = self.engine.clock.schedule(deadline, on_expire)
 

@@ -21,6 +21,33 @@ holds at most n-1 tuples, UNRESTRICTED retains everything the window admits.
 The ``state_size`` property exposes held-tuple counts for the state-size
 ablation benchmark.
 
+Indexed state (``Engine(indexed_state=True)``, the default) layers three
+incremental indexes over the same semantics:
+
+* **Predecessor cuts** (SASE-style Active Instance Stacks): each tuple
+  admitted at stage i caches, at admission time, how many stage-(i-1)
+  tuples precede it.  Because the clock is monotone and tuples order by
+  ``(ts, seq)``, admission order equals tuple order, so the cached count is
+  exactly the ``bisect_left`` boundary the enumerator would recompute —
+  match enumeration walks stored cuts instead of re-bisecting per
+  extension.  Front evictions are absorbed by a per-stage ``removed``
+  counter (live cut = stored cut - removed, clamped at 0); the scheme is
+  only used by modes whose histories shrink from the front only
+  (UNRESTRICTED always, RECENT when a pairing guard disables the
+  dominated-tuple purge).
+* **Bisected eviction**: histories are timestamp-ordered, so the window
+  eviction boundary comes from ``bisect`` instead of a left scan.
+* **A lazy expiry heap**: instead of sweeping every partition once per
+  window width, a min-heap of ``(next_expiry, partition_key)`` records when
+  each partition's oldest bounded tuple leaves the window.  A clock tick
+  pops only the partitions that actually have expirable state, so per-tick
+  work no longer grows with the number of idle partitions.  A self-re-arming
+  clock timer drives the heap even when no tuple arrives.
+
+``indexed_state=False`` keeps the original enumeration/sweep as a reference
+path (mirroring ``compile_expressions``); both paths emit identical match
+sequences — see ``tests/test_indexed_state.py``.
+
 Star-sequence patterns are handled by
 :class:`repro.core.operators.star.StarSeqOperator`; use
 :func:`repro.core.operators.make_sequence_operator` to pick automatically.
@@ -28,7 +55,10 @@ Star-sequence patterns are handled by
 
 from __future__ import annotations
 
+import heapq
 from bisect import bisect_left, bisect_right
+from math import inf, nextafter
+from operator import attrgetter
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ...dsms.engine import Engine
@@ -45,18 +75,27 @@ from .base import (
 )
 from .guards import CompiledGuard
 
+_TS = attrgetter("ts")
+
 
 class _Partition:
     """Per-partition-key operator state."""
 
-    __slots__ = ("histories", "run")
+    __slots__ = ("key", "histories", "run", "cuts", "removed")
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, key: Any = None, track_cuts: bool = False) -> None:
+        self.key = key
         # Positions 0..n-2 keep history; the last position's tuples are only
         # ever anchors and are matched immediately on arrival.
         self.histories: list[list[Tuple]] = [[] for _ in range(n - 1)]
         # CONSECUTIVE-mode current run on the joint history.
         self.run: list[Tuple] = []
+        # Predecessor cuts, parallel to histories (cuts[0] stays empty: stage
+        # 0 has no predecessor), and per-stage front-eviction totals.
+        self.cuts: list[list[int]] | None = (
+            [[] for _ in range(n - 1)] if track_cuts else None
+        )
+        self.removed: list[int] = [0] * (n - 1)
 
     def state_size(self) -> int:
         return sum(len(history) for history in self.histories) + len(self.run)
@@ -66,7 +105,9 @@ class SeqOperator:
     """Runtime instance of a star-free SEQ operator.
 
     Args:
-        engine: the owning :class:`~repro.dsms.engine.Engine`.
+        engine: the owning :class:`~repro.dsms.engine.Engine`.  Its
+            ``indexed_state`` flag selects between the incremental-index
+            state layer and the reference enumeration (see module docstring).
         args: the argument list (no starred entries).
         mode: tuple pairing mode.
         window: optional :class:`OperatorWindow`.
@@ -121,13 +162,49 @@ class SeqOperator:
         self._purge_on_admit = (
             mode is PairingMode.RECENT and self._pairing is None
         )
+        self.indexed_state = bool(getattr(engine, "indexed_state", True))
+        # Stored predecessor cuts stay exact only under front-only history
+        # shrinkage; CHRONICLE consumes mid-list and the RECENT purge deletes
+        # mid-list, so those keep per-enumeration bisect instead.
+        self._use_cuts = self.indexed_state and (
+            mode is PairingMode.UNRESTRICTED
+            or (mode is PairingMode.RECENT and not self._purge_on_admit)
+        )
+        # With a PRECEDING window anchored at the last argument (the
+        # canonical OVER [.. PRECEDING last] shape), per-arrival eviction
+        # prunes every history to exactly the window's lower bound before
+        # the match attempt, so enumerated chains satisfy the window by
+        # construction and the per-chain check can be skipped.
+        self._window_exact = (
+            window is not None
+            and window.direction == "preceding"
+            and window.anchor == len(args) - 1
+        )
         self.matches: list[SeqMatch] = []
         self.store_matches = store_matches
         self._on_match = on_match
         self._partitions: dict[Any, _Partition] = {}
-        # Next virtual time at which the cross-partition eviction sweep
-        # runs (see _sweep); -inf so the first windowed arrival sweeps.
+        # Next virtual time at which the reference path's cross-partition
+        # eviction sweep runs (see _sweep); -inf so the first windowed
+        # arrival sweeps.  The indexed path replaces the sweep with the
+        # expiry heap below.
         self._sweep_due = float("-inf")
+        # Lazy expiry heap: (deadline, partition_key), at most one *valid*
+        # entry per key, recorded in _heap_deadlines.  Entries whose dict
+        # deadline no longer matches are stale and skipped on pop.
+        self._expiry_heap: list[tuple[float, Any]] = []
+        self._heap_deadlines: dict[Any, float] = {}
+        self._expiry_timer = None
+        # Incremental held-tuple counter backing state_size, plus its
+        # high-water mark for the operator_state benchmark.
+        self._held = 0
+        self.peak_state_size = 0
+        # Partitions examined by expiry work (sweep walks or heap pops):
+        # the benchmark's proof that a tick no longer touches idle state.
+        # max_tick_touches is the worst single tick — the reference sweep
+        # pays O(partitions) on one arrival, the heap spreads pops out.
+        self.sweep_touches = 0
+        self.max_tick_touches = 0
         self._unsubscribes: list[Callable[[], None]] = []
         self.tuples_seen = 0
         self.matches_emitted = 0
@@ -160,11 +237,14 @@ class SeqOperator:
         for unsubscribe in self._unsubscribes:
             unsubscribe()
         self._unsubscribes.clear()
+        if self._expiry_timer is not None:
+            self._expiry_timer.cancel()
+            self._expiry_timer = None
 
     @property
     def state_size(self) -> int:
-        """Total tuples currently held across all partitions."""
-        return sum(p.state_size() for p in self._partitions.values())
+        """Total tuples currently held across all partitions (O(1))."""
+        return self._held
 
     def drain_matches(self) -> list[SeqMatch]:
         """Return and clear accumulated matches (pull-style consumption)."""
@@ -195,7 +275,14 @@ class SeqOperator:
         window = self.window
         attempt = self._attempt_matches
         admit = self._admit
-        evict = self._evict
+        tick = self._tick
+        evict = self._evict_partition
+        track_cuts = self._use_cuts
+        after = (
+            self._after_arrival
+            if self.indexed_state and window is not None
+            else None
+        )
 
         if admission is None:
 
@@ -204,16 +291,22 @@ class SeqOperator:
                     generic(tup)
                     return
                 self.tuples_seen += 1
+                if window is not None:
+                    tick(tup.ts)
                 key = partition_by(tup) if partition_by is not None else None
                 partition = partitions.get(key)
                 if partition is None:
-                    partition = partitions[key] = _Partition(n_args)
+                    partition = partitions[key] = _Partition(
+                        n_args, key, track_cuts
+                    )
+                if window is not None:
+                    evict(partition, tup.ts)
                 if is_last:
                     attempt(partition, tup)
                 else:
                     admit(partition, tup, index)
-                if window is not None:
-                    evict(partition, tup.ts)
+                if after is not None:
+                    after(partition, tup.ts)
 
         else:
 
@@ -224,16 +317,22 @@ class SeqOperator:
                 self.tuples_seen += 1
                 if not admission(alias, tup):
                     return  # fails its own single-alias conjuncts: never matches
+                if window is not None:
+                    tick(tup.ts)
                 key = partition_by(tup) if partition_by is not None else None
                 partition = partitions.get(key)
                 if partition is None:
-                    partition = partitions[key] = _Partition(n_args)
+                    partition = partitions[key] = _Partition(
+                        n_args, key, track_cuts
+                    )
+                if window is not None:
+                    evict(partition, tup.ts)
                 if is_last:
                     attempt(partition, tup)
                 else:
                     admit(partition, tup, index)
-                if window is not None:
-                    evict(partition, tup.ts)
+                if after is not None:
+                    after(partition, tup.ts)
 
         return on_tuple
 
@@ -241,7 +340,7 @@ class SeqOperator:
         key = self.partition_by(tup) if self.partition_by else None
         partition = self._partitions.get(key)
         if partition is None:
-            partition = _Partition(len(self.args))
+            partition = _Partition(len(self.args), key, self._use_cuts)
             self._partitions[key] = partition
         return partition
 
@@ -252,10 +351,19 @@ class SeqOperator:
         )
         if not positions:
             return
-        partition = self._partition_for(tup)
         if self.mode is PairingMode.CONSECUTIVE:
+            partition = self._partition_for(tup)
             self._consecutive_step(partition, tup, positions)
             return
+        windowed = self.window is not None
+        if windowed:
+            # Expire state *before* the attempt: the match enumeration then
+            # always sees histories pruned to horizon(now), which makes the
+            # cross-partition expiry timing (sweep vs. heap) unobservable.
+            self._tick(tup.ts)
+        partition = self._partition_for(tup)
+        if windowed:
+            self._evict_partition(partition, tup.ts)
         last = len(self.args) - 1
         admit = self._admission
         for index in positions:
@@ -265,43 +373,95 @@ class SeqOperator:
                 self._attempt_matches(partition, tup)
             else:
                 self._admit(partition, tup, index)
-        self._evict(partition, tup.ts)
+        if windowed and self.indexed_state:
+            self._after_arrival(partition, tup.ts)
 
     def _admit(self, partition: _Partition, tup: Tuple, index: int) -> None:
         partition.histories[index].append(tup)
+        if self._use_cuts and index:
+            # Cache the predecessor boundary at admission.  The clock is
+            # monotone and tuples order by (ts, seq), so everything already
+            # admitted at stage index-1 precedes *tup* — except when the
+            # very same tuple was admitted there in this delivery (one
+            # stream feeding both positions), which the trailing check
+            # excludes.  Stored as an absolute admission count; front
+            # evictions are subtracted via partition.removed at read time.
+            prev = partition.histories[index - 1]
+            cut = len(prev)
+            if cut and not (prev[cut - 1] < tup):
+                cut -= 1
+            partition.cuts[index].append(partition.removed[index - 1] + cut)
+        self._held += 1
+        if self._held > self.peak_state_size:
+            self.peak_state_size = self._held
         if self._purge_on_admit:
             self._purge_dominated(partition, index)
 
     # -- history management ----------------------------------------------
 
-    def _evict(self, partition: _Partition, now: float) -> None:
-        """Window-based eviction of history that can never match again.
+    def _evict_partition(self, partition: _Partition, now: float) -> None:
+        """Window-based eviction of one partition's dead history."""
+        horizon = self.window.horizon(now)
+        if self.indexed_state:
+            self._evict_windowed_indexed(partition, horizon)
+        else:
+            self._evict_windowed(partition, horizon)
 
-        Only positions actually bounded by the window are evicted: a
-        PRECEDING window anchored at argument k bounds positions 0..k; a
-        FOLLOWING window anchored at k bounds positions k..n-1.
+    def _tick(self, now: float) -> None:
+        """Cross-partition expiry work due at *now*.
+
+        Reference path: the amortized all-partition sweep.  Indexed path:
+        pop due entries off the expiry heap, touching only partitions whose
+        oldest bounded tuple actually left the window.
         """
-        if self.window is None:
+        if not self.indexed_state:
+            if now >= self._sweep_due:
+                self._sweep(now)
             return
-        self._evict_windowed(partition, self.window.horizon(now))
-        if now >= self._sweep_due:
-            self._sweep(now)
+        heap = self._expiry_heap
+        if heap and heap[0][0] <= now:
+            self._process_expiry(now)
+
+    def _bounded_range(self, partition: _Partition) -> range:
+        """History positions the window actually bounds: a PRECEDING window
+        anchored at argument k bounds positions 0..k-1; a FOLLOWING window
+        anchored at k bounds positions k..n-2."""
+        if self.window.direction == "preceding":
+            return range(0, min(self.window.anchor, len(partition.histories)))
+        return range(self.window.anchor, len(partition.histories))
 
     def _evict_windowed(self, partition: _Partition, horizon: float) -> None:
-        if self.window.direction == "preceding":
-            bounded = range(0, min(self.window.anchor, len(partition.histories)))
-        else:
-            bounded = range(self.window.anchor, len(partition.histories))
-        for index in bounded:
+        for index in self._bounded_range(partition):
             history = partition.histories[index]
             keep_from = 0
             while keep_from < len(history) and history[keep_from].ts < horizon:
                 keep_from += 1
             if keep_from:
                 del history[:keep_from]
+                self._held -= keep_from
+
+    def _evict_windowed_indexed(
+        self, partition: _Partition, horizon: float
+    ) -> None:
+        """Bisected eviction, keeping the cut/removed bookkeeping in sync."""
+        use_cuts = self._use_cuts
+        histories = partition.histories
+        removed = partition.removed
+        for index in self._bounded_range(partition):
+            history = histories[index]
+            if not history or history[0].ts >= horizon:
+                continue
+            keep = bisect_left(history, horizon, key=_TS)
+            del history[:keep]
+            self._held -= keep
+            if use_cuts:
+                removed[index] += keep
+                if index:
+                    del partition.cuts[index][:keep]
 
     def _sweep(self, now: float) -> None:
-        """Cross-partition eviction sweep, amortized to once per window width.
+        """Cross-partition eviction sweep, amortized to once per window width
+        (the ``indexed_state=False`` reference path).
 
         Per-arrival eviction only touches the arriving tuple's partition, so
         in UNRESTRICTED mode a partition that stops receiving tuples (a tag
@@ -310,10 +470,16 @@ class SeqOperator:
         expired history in *every* partition and drops partitions that
         become empty, bounding total state by the tuples inside one window
         plus at most one window width of slack — at O(1) amortized cost per
-        arrival.
+        arrival, but with O(partitions) latency spikes on the arrival that
+        pays for the sweep.  The indexed path's expiry heap removes those
+        spikes.
         """
         horizon = self.window.horizon(now)
         dead = []
+        touched = len(self._partitions)
+        self.sweep_touches += touched
+        if touched > self.max_tick_touches:
+            self.max_tick_touches = touched
         for key, partition in self._partitions.items():
             self._evict_windowed(partition, horizon)
             if not partition.run and all(
@@ -323,6 +489,95 @@ class SeqOperator:
         for key in dead:
             del self._partitions[key]
         self._sweep_due = now + self.window.duration
+
+    # -- expiry heap (indexed path) ---------------------------------------
+
+    def _oldest_bounded(self, partition: _Partition) -> float | None:
+        """Timestamp of the oldest tuple the window can still expire."""
+        oldest = None
+        for index in self._bounded_range(partition):
+            history = partition.histories[index]
+            if history and (oldest is None or history[0].ts < oldest):
+                oldest = history[0].ts
+        return oldest
+
+    def _schedule_expiry(
+        self, partition: _Partition, key: Any, now: float
+    ) -> None:
+        """Queue the partition's next expiry, or drop it when fully empty.
+
+        Evictions only raise a partition's oldest bounded timestamp, so an
+        already-queued (necessarily earlier) deadline stays conservative —
+        the pop re-checks and re-queues.  Hence at most one valid heap entry
+        per key, and admissions never need to move a deadline earlier.
+        """
+        oldest = self._oldest_bounded(partition)
+        if oldest is not None:
+            deadline = oldest + self.window.duration
+            if deadline <= now:
+                # The survivor sits exactly on the window edge (eviction is
+                # strict): re-queue just past *now* so the pop loop always
+                # makes progress.
+                deadline = nextafter(now, inf)
+            self._heap_deadlines[key] = deadline
+            heapq.heappush(self._expiry_heap, (deadline, key))
+        elif not partition.run and all(
+            not history for history in partition.histories
+        ):
+            del self._partitions[key]
+
+    def _after_arrival(self, partition: _Partition, now: float) -> None:
+        """Post-arrival heap upkeep for the arriving tuple's partition."""
+        if partition.key in self._heap_deadlines:
+            return
+        self._schedule_expiry(partition, partition.key, now)
+        self._ensure_timer()
+
+    def _process_expiry(self, now: float) -> None:
+        """Pop and expire every partition whose deadline has passed."""
+        heap = self._expiry_heap
+        deadlines = self._heap_deadlines
+        partitions = self._partitions
+        horizon = self.window.horizon(now)
+        touched = 0
+        while heap and heap[0][0] <= now:
+            deadline, key = heapq.heappop(heap)
+            if deadlines.get(key) != deadline:
+                continue  # stale: superseded by a later reschedule
+            del deadlines[key]
+            partition = partitions.get(key)
+            if partition is None:
+                continue
+            touched += 1
+            self._evict_windowed_indexed(partition, horizon)
+            self._schedule_expiry(partition, key, now)
+        self.sweep_touches += touched
+        if touched > self.max_tick_touches:
+            self.max_tick_touches = touched
+        self._ensure_timer()
+
+    def _ensure_timer(self) -> None:
+        """Keep a clock timer armed at the heap minimum, so idle partitions
+        expire on heartbeats even when no tuple ever arrives again.  Marked
+        periodic: eviction emits nothing, so end-of-stream drains cancel it
+        instead of firing it forever."""
+        heap = self._expiry_heap
+        if not heap:
+            return
+        head = heap[0][0]
+        timer = self._expiry_timer
+        if timer is not None and not timer.cancelled and timer.deadline <= head:
+            return
+        if timer is not None:
+            timer.cancel()
+        self._expiry_timer = self.engine.clock.schedule(
+            head, self._on_expiry_timer, periodic=True
+        )
+
+    def _on_expiry_timer(self, fired_at: float) -> None:
+        self._expiry_timer = None
+        if self._expiry_heap:
+            self._process_expiry(self.engine.clock.now)
 
     def _purge_dominated(self, partition: _Partition, index: int) -> None:
         """RECENT-mode aggressive purge (paper: "earlier tuples are
@@ -352,6 +607,7 @@ class SeqOperator:
             if needed:
                 kept.append(candidate)
         if len(kept) != len(history):
+            self._held -= len(history) - len(kept)
             partition.histories[index][:] = kept
 
     # -- match generation --------------------------------------------------
@@ -381,10 +637,16 @@ class SeqOperator:
 
     def _attempt_matches(self, partition: _Partition, anchor: Tuple) -> None:
         if self.mode is PairingMode.UNRESTRICTED:
-            for chain in self._enumerate_chains(partition, anchor):
-                self._emit(chain)
+            if self._use_cuts:
+                self._attempt_indexed(partition, anchor)
+            else:
+                for chain in self._enumerate_chains(partition, anchor):
+                    self._emit(chain)
         elif self.mode is PairingMode.RECENT:
-            chain = self._recent_chain(partition, anchor)
+            if self._use_cuts:
+                chain = self._recent_chain_indexed(partition, anchor)
+            else:
+                chain = self._recent_chain(partition, anchor)
             if chain is not None:
                 self._emit(chain)
         elif self.mode is PairingMode.CHRONICLE:
@@ -392,6 +654,136 @@ class SeqOperator:
             if chain is not None:
                 self._consume(partition, chain)
                 self._emit(chain)
+
+    def _anchor_cut(self, history: list[Tuple], anchor: Tuple) -> int:
+        """Live predecessor boundary for the arriving anchor: the whole
+        history precedes it, minus the anchor itself when the same tuple was
+        admitted to the previous stage in this delivery."""
+        cut = len(history)
+        if cut and not (history[cut - 1] < anchor):
+            cut -= 1
+        return cut
+
+    def _attempt_indexed(self, partition: _Partition, anchor: Tuple) -> None:
+        """UNRESTRICTED enumeration over stored predecessor cuts.
+
+        Emits the same chains in the same order as
+        :meth:`_enumerate_chains`: forward over each stage's viable prefix,
+        recursing toward stage 0 — but each stage's prefix bound is a cached
+        integer (stored cut minus front evictions) instead of a fresh
+        bisect, and the canonical-window check is skipped entirely when
+        eviction already guarantees it (``_window_exact``).
+        """
+        n = len(self.args)
+        histories = partition.histories
+        top = self._anchor_cut(histories[n - 2], anchor)
+        if not top:
+            return
+        cuts = partition.cuts
+        removed = partition.removed
+        chain: list[Tuple | None] = [None] * n
+        chain[n - 1] = anchor
+        pairing = self._pairing
+        emit = self._emit
+        window_check = None if self._window_exact else self._window_ok
+
+        if pairing is None:
+
+            def extend(index: int, hi: int) -> None:
+                history = histories[index]
+                if index == 0:
+                    if window_check is None:
+                        for pos in range(hi):
+                            chain[0] = history[pos]
+                            emit(chain)
+                    else:
+                        for pos in range(hi):
+                            chain[0] = history[pos]
+                            if window_check(chain):
+                                emit(chain)
+                    return
+                stage_cuts = cuts[index]
+                gone = removed[index - 1]
+                for pos in range(hi):
+                    nxt = stage_cuts[pos] - gone
+                    if nxt > 0:
+                        chain[index] = history[pos]
+                        extend(index - 1, nxt)
+
+            extend(n - 2, top)
+            return
+
+        args = self.args
+        bindings: dict[str, Tuple] = {args[n - 1].alias: anchor}
+        if not pairing(bindings):
+            return
+
+        def extend(index: int, hi: int) -> None:  # noqa: F811
+            history = histories[index]
+            alias = args[index].alias
+            if index:
+                stage_cuts = cuts[index]
+                gone = removed[index - 1]
+            for pos in range(hi):
+                candidate = history[pos]
+                bindings[alias] = candidate
+                if not pairing(bindings):
+                    del bindings[alias]
+                    continue
+                chain[index] = candidate
+                if index == 0:
+                    if window_check is None or window_check(chain):
+                        emit(chain)
+                else:
+                    nxt = stage_cuts[pos] - gone
+                    if nxt > 0:
+                        extend(index - 1, nxt)
+                del bindings[alias]
+
+        extend(n - 2, top)
+
+    def _recent_chain_indexed(
+        self, partition: _Partition, anchor: Tuple
+    ) -> list[Tuple] | None:
+        """Backward-greedy selection over stored predecessor cuts.
+
+        Only reached with a pairing guard (guard-free RECENT purges
+        mid-list and keeps the reference bisect path): scan each stage's
+        viable prefix newest-first for the first qualifying tuple, then hop
+        to that tuple's cached cut.
+        """
+        n = len(self.args)
+        args = self.args
+        pairing = self._pairing
+        bindings: dict[str, Tuple] = {args[n - 1].alias: anchor}
+        if not pairing(bindings):
+            return None
+        histories = partition.histories
+        cuts = partition.cuts
+        removed = partition.removed
+        cut = self._anchor_cut(histories[n - 2], anchor)
+        chain = [anchor]
+        for index in range(n - 2, -1, -1):
+            history = histories[index]
+            alias = args[index].alias
+            chosen_pos = -1
+            for pos in range(cut - 1, -1, -1):
+                bindings[alias] = history[pos]
+                if pairing(bindings):
+                    chosen_pos = pos
+                    break
+                del bindings[alias]
+            if chosen_pos < 0:
+                return None
+            chain.append(history[chosen_pos])
+            if index:
+                cut = cuts[index][chosen_pos] - removed[index - 1]
+                if cut < 0:
+                    cut = 0
+        chain.reverse()
+        if self._window_exact:
+            return chain
+        return chain if self._window_ok(chain) else None
 
     def _enumerate_chains(
         self, partition: _Partition, anchor: Tuple
@@ -507,6 +899,7 @@ class SeqOperator:
             slot = bisect_left(history, tup)
             if slot < len(history) and history[slot] is tup:
                 del history[slot]
+                self._held -= 1
 
     # -- CONSECUTIVE automaton ---------------------------------------------
 
@@ -526,21 +919,29 @@ class SeqOperator:
         )
         if extends:
             run.append(tup)
+            self._held += 1
+            if self._held > self.peak_state_size:
+                self.peak_state_size = self._held
             if len(run) == len(self.args):
                 chain = list(run)
                 partition.run = []
+                self._held -= len(chain)
                 if self._window_ok(chain):
                     self._emit(chain)
             return
         # Interruption: purge history (paper: "tuple history can be safely
         # purged each time a sequence is finished or interrupted"), then see
         # whether the interloper can start a fresh run.
+        self._held -= len(run)
         partition.run = []
         first = self.args[0]
         if first.stream.lower() == tup.stream.lower() and self._full_guard_ok(
             {first.alias: tup}
         ):
             partition.run = [tup]
+            self._held += 1
+            if self._held > self.peak_state_size:
+                self.peak_state_size = self._held
 
     # -- emission -----------------------------------------------------------
 
@@ -548,7 +949,9 @@ class SeqOperator:
         bindings = {
             arg.alias: tup for arg, tup in zip(self.args, chain)
         }
-        match = SeqMatch(self.args, bindings, chain[-1].ts)
+        # The dictcomp above is this match's private copy (enumeration may
+        # reuse the chain list), so hand it over without another copy.
+        match = SeqMatch.owned(self.args, bindings, chain[-1].ts)
         self.matches_emitted += 1
         if self.store_matches:
             self.matches.append(match)

@@ -34,7 +34,8 @@ class Timer:
     instead of firing them, so end-of-stream flushes terminate.
     """
 
-    __slots__ = ("deadline", "callback", "cancelled", "periodic", "_order")
+    __slots__ = ("deadline", "callback", "cancelled", "periodic", "_order",
+                 "_clock")
 
     def __init__(
         self,
@@ -42,16 +43,21 @@ class Timer:
         callback: TimerCallback,
         order: int,
         periodic: bool = False,
+        clock: "VirtualClock | None" = None,
     ) -> None:
         self.deadline = deadline
         self.callback = callback
         self.cancelled = False
         self.periodic = periodic
         self._order = order
+        self._clock = clock
 
     def cancel(self) -> None:
         """Mark this timer so that it will be skipped when it pops."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._clock is not None:
+                self._clock._note_cancel()
 
     def __lt__(self, other: "Timer") -> bool:
         return (self.deadline, self._order) < (other.deadline, other._order)
@@ -69,11 +75,16 @@ class VirtualClock:
     :class:`ClockError` — streams are timestamp-ordered by contract.
     """
 
+    #: Compaction kicks in only past this heap size; below it the cancelled
+    #: entries are popped soon enough that rebuilding would cost more.
+    COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._now: float | None = None
         self._timers: list[Timer] = []
         self._counter = itertools.count()
         self._firing = False
+        self._live = 0  # armed (non-cancelled) timers, kept O(1)-readable
 
     @property
     def now(self) -> float:
@@ -94,13 +105,36 @@ class VirtualClock:
         keeps operator code re-entrancy-free.  Pass ``periodic=True`` for
         self-re-arming timers so :meth:`drain` knows to stop them.
         """
-        timer = Timer(float(deadline), callback, next(self._counter), periodic)
+        timer = Timer(
+            float(deadline), callback, next(self._counter), periodic, clock=self
+        )
         heapq.heappush(self._timers, timer)
+        self._live += 1
         return timer
 
     def pending_timers(self) -> int:
-        """Number of armed (non-cancelled) timers; useful in tests."""
-        return sum(1 for timer in self._timers if not timer.cancelled)
+        """Number of armed (non-cancelled) timers, maintained incrementally.
+
+        Operators that arm and cancel timers per tuple (active expiration,
+        state-expiry sweeps) call this on hot paths, so it must not scan
+        the heap — cancelled entries stay in the heap until they pop or a
+        compaction removes them.
+        """
+        return self._live
+
+    def _note_cancel(self) -> None:
+        """A timer was cancelled: keep the live count exact and compact the
+        heap once cancelled entries dominate it.
+
+        Compaction rebuilds the heap from the armed timers only; it is
+        amortized O(1) per cancellation because it halves the heap each
+        time it runs.
+        """
+        self._live -= 1
+        timers = self._timers
+        if len(timers) >= self.COMPACT_MIN and self._live * 2 < len(timers):
+            self._timers = [t for t in timers if not t.cancelled]
+            heapq.heapify(self._timers)
 
     def advance(self, to: float) -> int:
         """Move time forward to *to*, firing due timers in deadline order.
@@ -126,6 +160,8 @@ class VirtualClock:
                 timer = heapq.heappop(self._timers)
                 if timer.cancelled:
                     continue
+                self._live -= 1
+                timer.cancelled = True  # fired: no longer armed, cancel() no-ops
                 timer.callback(timer.deadline)
                 fired += 1
         finally:

@@ -153,9 +153,18 @@ class Engine:
     (:meth:`~repro.dsms.expressions.Expression.compile`); when False every
     evaluation walks the AST.  Both paths are semantically identical — the
     flag exists for ablation benchmarks and as an escape hatch.
+
+    ``indexed_state`` selects the sequence-operator state layer: when True
+    (the default) SEQ keeps incremental indexes — cached predecessor cuts,
+    bisected window eviction, and a lazy partition-expiry heap (see
+    :mod:`repro.core.operators.seq`); when False it uses the reference
+    enumeration and the amortized all-partition sweep.  Both paths emit
+    identical match sequences.
     """
 
-    def __init__(self, compile_expressions: bool = True) -> None:
+    def __init__(
+        self, compile_expressions: bool = True, indexed_state: bool = True
+    ) -> None:
         self.clock = VirtualClock()
         self.streams = StreamRegistry()
         self.tables = TableRegistry()
@@ -164,6 +173,7 @@ class Engine:
         self.queries: list[QueryHandle] = []
         self.histories: dict[str, Any] = {}  # stream -> SnapshotView
         self.compile_expressions = compile_expressions
+        self.indexed_state = indexed_state
         self._query_counter = 0
 
     # -- catalog --------------------------------------------------------

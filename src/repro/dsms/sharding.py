@@ -125,17 +125,19 @@ class ShardSpec:
     shard 0 only).
     """
 
-    __slots__ = ("ops", "sinks", "compile_expressions")
+    __slots__ = ("ops", "sinks", "compile_expressions", "indexed_state")
 
     def __init__(
         self,
         ops: Sequence[tuple],
         sinks: Sequence[tuple[str, str, str, str]],
         compile_expressions: bool,
+        indexed_state: bool = True,
     ) -> None:
         self.ops = list(ops)
         self.sinks = list(sinks)
         self.compile_expressions = compile_expressions
+        self.indexed_state = indexed_state
 
 
 class _ShardRuntime:
@@ -150,7 +152,10 @@ class _ShardRuntime:
     def __init__(self, spec: ShardSpec, shard: int, n_shards: int) -> None:
         self.shard = shard
         self.n_shards = n_shards
-        self.engine = Engine(compile_expressions=spec.compile_expressions)
+        self.engine = Engine(
+            compile_expressions=spec.compile_expressions,
+            indexed_state=spec.indexed_state,
+        )
         self.handles: dict[str, QueryHandle] = {}
         for op in spec.ops:
             kind = op[0]
@@ -541,6 +546,8 @@ class ShardedEngine:
         shard_by: explicit ``{stream_name: key_field}`` routing overrides;
             takes precedence over hoisted partition keys.
         compile_expressions: forwarded to every inner Engine.
+        indexed_state: forwarded to every inner Engine (sequence-operator
+            state indexing; see :class:`~repro.dsms.engine.Engine`).
         batch_size: records buffered per shard before a parallel hand-off.
     """
 
@@ -550,6 +557,7 @@ class ShardedEngine:
         executor: str = "serial",
         shard_by: Mapping[str, str] | None = None,
         compile_expressions: bool = True,
+        indexed_state: bool = True,
         batch_size: int = 2048,
     ) -> None:
         if n_shards < 1:
@@ -562,12 +570,15 @@ class ShardedEngine:
         self.executor_kind = executor
         self.batch_size = batch_size
         self.compile_expressions = compile_expressions
+        self.indexed_state = indexed_state
         self.shard_by = {
             name.lower(): field.lower() for name, field in (shard_by or {}).items()
         }
         # The catalog engine holds schemas and compiled query metadata for
         # routing decisions; it never receives data.
-        self.catalog = Engine(compile_expressions=compile_expressions)
+        self.catalog = Engine(
+            compile_expressions=compile_expressions, indexed_state=indexed_state
+        )
         self._ops: list[tuple] = []
         self._sink_specs: list[tuple[str, str, str]] = []  # (sink_id, kind, target)
         self._routes: dict[str, _Route] = {}
@@ -832,7 +843,9 @@ class ShardedEngine:
                 route = self._routes[target.lower()]
                 ship = "zero" if route.policy == "broadcast" else "all"
             sinks.append((sink_id, kind, target, ship))
-        spec = ShardSpec(self._ops, sinks, self.compile_expressions)
+        spec = ShardSpec(
+            self._ops, sinks, self.compile_expressions, self.indexed_state
+        )
         if self.executor_kind == "serial":
             self._executor = _SerialExecutor(spec, self.n_shards)
         else:

@@ -74,6 +74,24 @@ class Tuple:
         self.seq = next(_GLOBAL_SEQ) if seq is None else seq
 
     @classmethod
+    def trusted(
+        cls, schema: Schema, values: Sequence[Any], ts: float
+    ) -> "Tuple":
+        """Construct without width validation or timestamp coercion.
+
+        For compiled emit paths whose projection plan already guarantees a
+        schema-width value list and a float timestamp; otherwise identical
+        to the checked constructor (stream unset, fresh sequence number).
+        """
+        tup = cls.__new__(cls)
+        tup.schema = schema
+        tup.values = tuple(values)
+        tup.ts = ts
+        tup.stream = ""
+        tup.seq = next(_GLOBAL_SEQ)
+        return tup
+
+    @classmethod
     def from_mapping(
         cls,
         schema: Schema,

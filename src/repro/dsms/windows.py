@@ -19,11 +19,15 @@ Durations in ESL-EV text (``30 MINUTES``) normalize to seconds via
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import deque
+from operator import attrgetter
 from typing import Iterator, Mapping
 
 from .errors import WindowError
 from .tuples import Tuple
+
+_TS = attrgetter("ts")
 
 #: Unit name (singular, lowercase) -> seconds.  The parser strips plurals.
 TIME_UNITS: Mapping[str, float] = {
@@ -127,16 +131,28 @@ class RangeWindowBuffer:
     """Time-based window: keeps tuples within *duration* of the newest time.
 
     Tuples must be appended in timestamp order (the stream contract
-    guarantees this).  ``duration=None`` means unbounded retention.
+    guarantees this), which makes the storage a sorted array: eviction and
+    the window queries locate their timestamp boundaries with ``bisect``
+    instead of scanning from the left.  Storage is a list with a lazy head
+    offset — eviction advances the head pointer and the dead prefix is
+    compacted away only once it dominates, so ``evict`` is O(log n)
+    amortized instead of one ``popleft`` per dropped tuple.
+
+    ``duration=None`` means unbounded retention.
     """
 
-    __slots__ = ("duration", "_tuples", "_latest")
+    __slots__ = ("duration", "_tuples", "_head", "_latest")
+
+    #: Dead-prefix compaction threshold (elements); below this the copy is
+    #: cheaper to skip.
+    COMPACT_MIN = 32
 
     def __init__(self, duration: float | None) -> None:
         if duration is not None and duration < 0:
             raise WindowError(f"negative window duration: {duration}")
         self.duration = duration
-        self._tuples: deque[Tuple] = deque()
+        self._tuples: list[Tuple] = []
+        self._head = 0
         self._latest: float | None = None
 
     def append(self, tup: Tuple) -> None:
@@ -150,10 +166,15 @@ class RangeWindowBuffer:
         if self.duration is None:
             return 0
         cutoff = now - self.duration
-        dropped = 0
-        while self._tuples and self._tuples[0].ts < cutoff:
-            self._tuples.popleft()
-            dropped += 1
+        tuples = self._tuples
+        head = self._head
+        keep = bisect_left(tuples, cutoff, lo=head, hi=len(tuples), key=_TS)
+        dropped = keep - head
+        if dropped:
+            self._head = keep
+            if keep >= self.COMPACT_MIN and keep * 2 >= len(tuples):
+                del tuples[:keep]
+                self._head = 0
         return dropped
 
     def tuples_between(self, lo: float, hi: float) -> Iterator[Tuple]:
@@ -162,11 +183,13 @@ class RangeWindowBuffer:
         Only sound if the buffer still retains everything at or after *lo*;
         callers working with symmetric windows size the buffer accordingly.
         """
-        for tup in self._tuples:
+        tuples = self._tuples
+        start = bisect_left(tuples, lo, lo=self._head, hi=len(tuples), key=_TS)
+        for index in range(start, len(tuples)):
+            tup = tuples[index]
             if tup.ts > hi:
                 break
-            if tup.ts >= lo:
-                yield tup
+            yield tup
 
     def tuples_preceding(
         self, anchor: Tuple, duration: float, include_anchor: bool = False
@@ -178,19 +201,22 @@ class RangeWindowBuffer:
         yielded.
         """
         lo = anchor.ts - duration
-        for tup in self._tuples:
+        tuples = self._tuples
+        start = bisect_left(tuples, lo, lo=self._head, hi=len(tuples), key=_TS)
+        for index in range(start, len(tuples)):
+            tup = tuples[index]
             if (tup.ts, tup.seq) > (anchor.ts, anchor.seq):
                 break
             if tup is anchor and not include_anchor:
                 continue
-            if tup.ts >= lo:
-                yield tup
+            yield tup
 
     def __iter__(self) -> Iterator[Tuple]:
-        return iter(self._tuples)
+        tuples = self._tuples
+        return iter(tuples[self._head:] if self._head else tuples)
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._tuples) - self._head
 
     @property
     def latest_ts(self) -> float | None:
@@ -198,6 +224,7 @@ class RangeWindowBuffer:
 
     def clear(self) -> None:
         self._tuples.clear()
+        self._head = 0
 
     def __repr__(self) -> str:
         span = "unbounded" if self.duration is None else f"{self.duration:g}s"

@@ -225,8 +225,11 @@ def build_lab_workflow(
     use_clevel: bool = False,
     partitioned: bool = False,
     compile_expressions: bool = True,
+    indexed_state: bool = True,
 ) -> Scenario:
-    engine = Engine(compile_expressions=compile_expressions)
+    engine = Engine(
+        compile_expressions=compile_expressions, indexed_state=indexed_state
+    )
     for name in ("a1", "a2", "a3"):
         engine.create_stream(name, "tagid str, tagtime float")
     if use_clevel:
@@ -294,13 +297,16 @@ def build_quality_check(
     mode: str | None = "RECENT",
     window_minutes: float | None = None,
     compile_expressions: bool = True,
+    indexed_state: bool = True,
 ) -> Scenario:
     """Example 6, optionally with MODE and the 30-minute window variant.
 
     The paper's verbatim query is UNRESTRICTED; RECENT is the optimized
     evaluation it recommends for this scenario, so it is the default here.
     """
-    engine = Engine(compile_expressions=compile_expressions)
+    engine = Engine(
+        compile_expressions=compile_expressions, indexed_state=indexed_state
+    )
     for name in ("c1", "c2", "c3", "c4"):
         engine.create_stream(name, "readerid str, tagid str, tagtime float")
     handle = engine.query(quality_query_text(mode, window_minutes), name="quality")
@@ -314,6 +320,7 @@ def build_quality_check_sharded(
     mode: str | None = "RECENT",
     window_minutes: float | None = None,
     compile_expressions: bool = True,
+    indexed_state: bool = True,
     batch_size: int = 2048,
 ) -> Scenario:
     """Example 6 on a :class:`ShardedEngine`.
@@ -325,6 +332,7 @@ def build_quality_check_sharded(
         n_shards=n_shards,
         executor=executor,
         compile_expressions=compile_expressions,
+        indexed_state=indexed_state,
         batch_size=batch_size,
     )
     for name in ("c1", "c2", "c3", "c4"):

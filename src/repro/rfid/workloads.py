@@ -340,6 +340,7 @@ def quality_check_workload(
     interleave: bool = True,
     seed: int = 23,
     streams: tuple[str, str, str, str] = ("c1", "c2", "c3", "c4"),
+    rereads: int = 1,
 ) -> WorkloadResult:
     """Products passing the four checking steps of Example 6.
 
@@ -347,8 +348,16 @@ def quality_check_workload(
     step 1, 2 or 3).  With ``interleave`` products overlap in time, so the
     operator must disentangle them by tag id.  Ground truth lists the tag
     ids that complete all four steps, with their step timestamps.
+
+    ``rereads`` > 1 models a checkpoint reader reporting the same tag
+    several times while it dwells in the field (0.5 s apart) — the raw
+    RFID condition Example 1 deduplicates away.  Fed *without* a dedup
+    stage, an UNRESTRICTED SEQ then pairs every combination of re-reads,
+    which is what the ``operator_state`` benchmark uses to stress match
+    enumeration.  Ground truth timestamps remain the first read per step.
     """
     rng = random.Random(seed)
+    reread_gap = min(0.5, step_delay[0] / (rereads + 1))
     records: list[TraceRecord] = []
     completed: dict[str, list[float]] = {}
     start = 0.0
@@ -361,13 +370,19 @@ def quality_check_workload(
         stamps: list[float] = []
         for step in range(steps):
             t += rng.uniform(*step_delay)
-            records.append(
-                (
-                    streams[step],
-                    {"readerid": streams[step], "tagid": tag, "tagtime": t},
-                    t,
+            for read in range(rereads):
+                read_ts = t + read * reread_gap
+                records.append(
+                    (
+                        streams[step],
+                        {
+                            "readerid": streams[step],
+                            "tagid": tag,
+                            "tagtime": read_ts,
+                        },
+                        read_ts,
+                    )
                 )
-            )
             stamps.append(t)
         if steps == 4:
             completed[tag] = stamps

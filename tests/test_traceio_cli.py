@@ -183,7 +183,7 @@ class TestBenchSubcommand:
     def test_bench_writes_report(self, tmp_path, capsys):
         code = main([
             "bench", "sharded_scaling",
-            "--out", str(tmp_path), "--reps", "1", "--size", "20",
+            "--out", str(tmp_path), "--reps", "1", "--size", "10",
             "--executor", "serial",
         ])
         assert code == 0
@@ -194,14 +194,42 @@ class TestBenchSubcommand:
         payload = json.loads(report_path.read_text())
         assert payload["name"] == "sharded_scaling"
         assert "cpu_count" in payload["meta"]
+        assert payload["meta"]["scaling_mode"] == "weak"
         labels = [entry["label"] for entry in payload["experiments"]]
-        assert "single-engine" in labels
-        curve = next(
+        assert "single-1x" in labels
+        sharded = [
             entry for entry in payload["experiments"]
-            if entry.get("kind") == "scaling_curve"
+            if "weak_efficiency" in entry
+        ]
+        assert [entry["shards"] for entry in sharded] == [1, 2, 4, 8]
+        # The workload grows with the shard count (weak scaling) and every
+        # sharded arm records whether it was starved of cores.
+        assert sharded[-1]["n_tuples"] > sharded[0]["n_tuples"] * 4
+        assert all("cpu_limited" in entry for entry in sharded)
+        assert all("speedup_vs_single" in entry for entry in sharded)
+
+    def test_bench_operator_state_writes_report(self, tmp_path, capsys):
+        code = main([
+            "bench", "operator_state",
+            "--out", str(tmp_path), "--reps", "1", "--size", "25",
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(
+            (tmp_path / "BENCH_operator_state.json").read_text()
         )
-        assert [point["shards"] for point in curve["curve"]] == [1, 2, 4, 8]
-        assert "speedup" in curve["curve"][0]
+        assert payload["name"] == "operator_state"
+        assert "speedup_indexed_vs_naive" in payload["meta"]
+        by_label = {
+            entry["label"]: entry for entry in payload["experiments"]
+        }
+        assert by_label["indexed"]["matches"] == by_label["naive"]["matches"]
+        assert "latency_us" in by_label["indexed"]
+        for n_idle in (500, 2000):
+            assert f"idle-{n_idle}-indexed" in by_label
+        # The heartbeat drains the heap arm after the trace ends.
+        assert by_label["idle-2000-indexed"]["final_state_size"] == 0
 
     def test_bench_unknown_name(self):
         with pytest.raises(SystemExit):
