@@ -8,13 +8,22 @@ from .harness import (
     percentile,
     sweep,
 )
-from .metrics import Accuracy, containment_accuracy, summarize_rows, throughput
+from .metrics import (
+    Accuracy,
+    containment_accuracy,
+    summarize_rows,
+    throughput,
+    wire_summary,
+)
 from .runners import (
     BENCH_RUNNERS,
+    TRANSPORT_ARMS,
     effective_cpu_count,
     run_operator_state,
+    run_shard_transport,
     run_sharded_scaling,
     scaling_speedup,
+    transport_speedup,
     weak_efficiency,
 )
 
@@ -23,16 +32,20 @@ __all__ = [
     "BENCH_RUNNERS",
     "BenchReport",
     "ResultTable",
+    "TRANSPORT_ARMS",
     "Timed",
     "containment_accuracy",
     "effective_cpu_count",
     "measure_latencies",
     "percentile",
     "run_operator_state",
+    "run_shard_transport",
     "run_sharded_scaling",
     "scaling_speedup",
     "summarize_rows",
     "sweep",
     "throughput",
+    "transport_speedup",
     "weak_efficiency",
+    "wire_summary",
 ]

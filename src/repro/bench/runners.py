@@ -70,6 +70,7 @@ def run_sharded_scaling(
     n_products: int = 150,
     shard_counts: Sequence[int] = (1, 2, 4, 8),
     executor: str = "parallel",
+    codec: str = "framed",
     batch_size: int = 512,
     reps: int | None = None,
     seed: int = 122,
@@ -105,6 +106,7 @@ def run_sharded_scaling(
             "scaling_mode": "weak",
             "n_products_per_shard": n_products,
             "executor": executor,
+            "codec": codec if executor == "parallel" else None,
             "batch_size": batch_size,
             "reps": reps,
             "cpu_count": cpus,
@@ -128,9 +130,13 @@ def run_sharded_scaling(
         single_seconds, reference_rows, _ = _timed_feed(
             lambda w=workload: build_quality_check(w), reps
         )
+        sharded_kwargs: dict[str, Any] = {}
+        if executor == "parallel":
+            sharded_kwargs["codec"] = codec
         sharded_seconds, rows, _ = _timed_feed(
             lambda w=workload, n=n_shards: build_quality_check_sharded(
-                w, n_shards=n, executor=executor, batch_size=batch_size
+                w, n_shards=n, executor=executor, batch_size=batch_size,
+                **sharded_kwargs,
             ),
             reps,
         )
@@ -187,6 +193,196 @@ def weak_efficiency(report: BenchReport, shards: int) -> float | None:
         if entry.get("shards") == shards and "weak_efficiency" in entry:
             return entry["weak_efficiency"]
     return None
+
+
+# ---------------------------------------------------------------------------
+# shard_transport — futures-pickle vs pipe-pickle vs pipe-framed ablation
+# ---------------------------------------------------------------------------
+
+#: The three transport arms: (label, executor kind, codec or None).
+TRANSPORT_ARMS: Sequence[tuple[str, str, str | None]] = (
+    ("futures-pickle", "futures", None),
+    ("pipe-pickle", "parallel", "pickle"),
+    ("pipe-framed", "parallel", "framed"),
+)
+
+
+def run_shard_transport(
+    *,
+    n_products: int = 600,
+    shard_counts: Sequence[int] = (2, 4),
+    batch_size: int = 512,
+    reps: int | None = None,
+    seed: int = 122,
+) -> BenchReport:
+    """Shard-transport ablation on the weak-scaling Example 6 workload.
+
+    Three arms move the *same* records to the *same* shard engines over
+    different plumbing:
+
+    * ``futures-pickle`` — the legacy :class:`ProcessPoolExecutor`
+      submit-per-batch transport (one pickled work item and one pickled
+      result per epoch, through the pool's queue machinery);
+    * ``pipe-pickle`` — persistent pipe workers, payloads pickled whole;
+    * ``pipe-framed`` — persistent pipe workers, struct-packed columnar
+      frames with interned stream ids (see :mod:`repro.dsms.transport`).
+
+    Every arm is warmed (``ShardedEngine.start()`` runs outside the timed
+    region, for all arms alike — lazy pool spawn inside the clock would
+    charge process startup to the futures arm only), reps interleave
+    across arms so host drift degrades each best-of equally, and each
+    arm's merged rows must equal the single-engine reference row for row.
+
+    Wire accounting comes from :meth:`ShardedEngine.transport_stats`:
+    bytes on the wire in each direction, frame and round-trip counts,
+    heartbeat-only frames, and codec encode/decode seconds.  The futures
+    arm counts bytes in one extra untimed rep with ``measure_bytes=True``
+    (its double-pickle accounting must not pollute the timed run).
+
+    On hosts with fewer CPUs than ``n_shards + 1`` the arms serialize
+    onto the same cores, wall-clock collapses to total CPU work, and the
+    pipe transport's latency hiding cannot show; such arms are tagged
+    ``cpu_limited`` and the headline ``speedup_framed_vs_futures`` should
+    be read as a parity check there, not as the transport win.
+    """
+    from ..rfid import build_quality_check, build_quality_check_sharded
+    from ..rfid import quality_check_workload
+
+    if reps is None:
+        reps = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+    cpus = effective_cpu_count()
+    shard_counts = tuple(shard_counts)
+
+    report = BenchReport(
+        "shard_transport",
+        meta={
+            "workload": "example6-quality",
+            "scaling_mode": "weak",
+            "n_products_per_shard": n_products,
+            "batch_size": batch_size,
+            "arms": [label for label, _, _ in TRANSPORT_ARMS],
+            "reps": reps,
+            "cpu_count": cpus,
+            "cpu_limited": cpus < max(shard_counts) + 1,
+            "note": (
+                "transport ablation: same records, same shard engines, "
+                "different plumbing; engines are started before the "
+                "timed region for every arm alike; arms on hosts with "
+                "cpu_count < n_shards + 1 serialize onto shared cores "
+                "and are tagged cpu_limited"
+            ),
+            "python": platform.python_version(),
+        },
+    )
+
+    def _build(arm_executor: str, codec: str | None, n_shards: int,
+               workload: Any, **extra: Any) -> Any:
+        kwargs: dict[str, Any] = {}
+        if codec is not None:
+            kwargs["codec"] = codec
+        kwargs.update(extra)
+        return build_quality_check_sharded(
+            workload,
+            n_shards=n_shards,
+            executor=arm_executor,
+            batch_size=batch_size,
+            **kwargs,
+        )
+
+    speedups: dict[int, float] = {}
+    for n_shards in shard_counts:
+        workload = quality_check_workload(
+            n_products=n_products * n_shards, seed=seed
+        )
+        n_tuples = len(workload.trace)
+        single_seconds, reference_rows, _ = _timed_feed(
+            lambda w=workload: build_quality_check(w), reps
+        )
+        arm_seconds = {label: float("inf") for label, _, _ in TRANSPORT_ARMS}
+        arm_rows: dict[str, list] = {}
+        arm_stats: dict[str, dict[str, Any]] = {}
+        for rep in range(reps):
+            for label, arm_executor, codec in TRANSPORT_ARMS:
+                scenario = _build(arm_executor, codec, n_shards, workload)
+                engine = scenario.engine.start()
+                gc.disable()
+                try:
+                    start = time.perf_counter()
+                    scenario.feed()
+                    seconds = time.perf_counter() - start
+                finally:
+                    gc.enable()
+                arm_seconds[label] = min(arm_seconds[label], seconds)
+                if rep == reps - 1:
+                    arm_rows[label] = scenario.rows()
+                    arm_stats[label] = engine.transport_stats()
+                engine.close()
+        # Untimed byte-accounting rep for the futures arm (its wire
+        # counter double-pickles every dispatch, so it stays out of the
+        # timed loop above).
+        scenario = _build(
+            "futures", None, n_shards, workload, measure_bytes=True
+        )
+        engine = scenario.engine.start()
+        scenario.feed()
+        futures_totals = engine.transport_stats()["totals"]
+        engine.close()
+        arm_stats["futures-pickle"]["totals"]["bytes_sent"] = (
+            futures_totals["bytes_sent"]
+        )
+
+        for label, arm_executor, codec in TRANSPORT_ARMS:
+            if arm_rows[label] != reference_rows:
+                raise AssertionError(
+                    f"{label} output diverged from single engine at "
+                    f"{n_shards} shards ({len(arm_rows[label])} vs "
+                    f"{len(reference_rows)} rows)"
+                )
+            totals = arm_stats[label]["totals"]
+            report.add_experiment(
+                f"{label}-{n_shards}",
+                n_tuples=n_tuples,
+                seconds=arm_seconds[label],
+                shards=n_shards,
+                params={
+                    "engine": "ShardedEngine",
+                    "executor": arm_executor,
+                    "codec": codec,
+                    "n_products": n_products * n_shards,
+                    "batch_size": batch_size,
+                },
+                speedup_vs_single=(
+                    single_seconds / arm_seconds[label]
+                    if arm_seconds[label]
+                    else 0.0
+                ),
+                cpu_limited=n_shards + 1 > cpus,
+                transport=totals,
+            )
+        report.add_experiment(
+            f"single-{n_shards}x",
+            n_tuples=n_tuples,
+            seconds=single_seconds,
+            params={"engine": "Engine", "n_products": n_products * n_shards},
+        )
+        speedups[n_shards] = (
+            arm_seconds["futures-pickle"] / arm_seconds["pipe-framed"]
+            if arm_seconds["pipe-framed"]
+            else 0.0
+        )
+
+    report.meta["speedup_framed_vs_futures"] = speedups[shard_counts[0]]
+    report.meta["speedup_framed_vs_futures_by_shards"] = {
+        str(n): value for n, value in speedups.items()
+    }
+    return report
+
+
+def transport_speedup(report: BenchReport, shards: int) -> float | None:
+    """Framed-over-futures wall-clock speedup at *shards*, if measured."""
+    by_shards = report.meta.get("speedup_framed_vs_futures_by_shards", {})
+    value = by_shards.get(str(shards))
+    return float(value) if value is not None else None
 
 
 # ---------------------------------------------------------------------------
@@ -418,5 +614,6 @@ def run_operator_state(
 
 BENCH_RUNNERS: Mapping[str, Callable[..., BenchReport]] = {
     "sharded_scaling": run_sharded_scaling,
+    "shard_transport": run_shard_transport,
     "operator_state": run_operator_state,
 }

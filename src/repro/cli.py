@@ -159,8 +159,13 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="workload size knob (products/tags, runner-specific default)",
     )
     parser.add_argument(
-        "--executor", choices=("serial", "parallel"), default=None,
-        help="sharded executor to measure (runner-specific default)",
+        "--executor", choices=("serial", "parallel", "futures"), default=None,
+        help="sharded executor to measure (runner-specific default); "
+             "'futures' is the legacy pool transport kept for ablation",
+    )
+    parser.add_argument(
+        "--codec", choices=("framed", "pickle"), default=None,
+        help="pipe-transport payload codec (parallel executor only)",
     )
     return parser
 
@@ -179,6 +184,8 @@ def run_bench(argv: Sequence[str]) -> int:
         kwargs["n_products"] = args.size
     if args.executor is not None:
         kwargs["executor"] = args.executor
+    if args.codec is not None:
+        kwargs["codec"] = args.codec
     accepted = inspect.signature(runner).parameters
     dropped = sorted(set(kwargs) - set(accepted))
     if dropped:
@@ -218,6 +225,12 @@ def run_bench(argv: Sequence[str]) -> int:
     speedup = report.meta.get("speedup_indexed_vs_naive")
     if speedup:
         print(f"# indexed vs naive: {speedup:.2f}x", file=sys.stderr)
+    transport = report.meta.get("speedup_framed_vs_futures")
+    if transport:
+        line = f"# pipe-framed vs futures-pickle: {transport:.2f}x"
+        if report.meta.get("cpu_limited"):
+            line += " (cpu-limited: arms share cores, read as parity check)"
+        print(line, file=sys.stderr)
     return 0
 
 

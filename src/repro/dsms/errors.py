@@ -72,5 +72,15 @@ class WindowError(EslRuntimeError):
     """A window specification is invalid (negative range, bad anchor...)."""
 
 
+class TransportError(EslRuntimeError):
+    """The shard transport failed: a worker died, a pipe closed, or a
+    worker reported an exception (the message carries its traceback)."""
+
+
+class FrameCodecError(TransportError):
+    """A transport frame could not be encoded or decoded: short, truncated,
+    corrupt (CRC mismatch), or referencing unknown interned ids."""
+
+
 class EpcFormatError(EslError):
     """An EPC code or EPC pattern string is malformed."""

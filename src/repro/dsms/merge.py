@@ -93,6 +93,43 @@ class StampedSink:
         return out
 
 
+class RunCollector:
+    """Accumulates per-(sink, shard) stamped runs on the router side.
+
+    The pipe transport's reader threads append output runs concurrently —
+    one thread per shard — so the backing lists are laid out per shard and
+    pre-registered up front: after :meth:`register`, ``absorb`` only ever
+    appends to the one slot its shard owns, making the structure safe
+    without a lock (list.append is atomic, and no two threads share a
+    slot).  ``runs_for`` is called from the router thread only after a
+    drain barrier, when every reader is quiescent.
+    """
+
+    __slots__ = ("_runs",)
+
+    def __init__(self) -> None:
+        self._runs: dict[str, list[list[StampedRow]]] = {}
+
+    def register(self, sink_id: str, n_shards: int) -> None:
+        self._runs[sink_id] = [[] for _ in range(n_shards)]
+
+    def sink_ids(self) -> list[str]:
+        return list(self._runs)
+
+    def absorb(self, shard: int, outputs: "dict[str, list[StampedRow]]") -> None:
+        """Append *outputs* (one shard's drained runs, in emission order)."""
+        for sink_id, rows in outputs.items():
+            self._runs[sink_id][shard].extend(rows)
+
+    def runs_for(self, sink_id: str) -> list[list[StampedRow]]:
+        """The per-shard sorted runs accumulated for *sink_id* so far."""
+        return self._runs[sink_id]
+
+    def merged_for(self, sink_id: str) -> list[StampedRow]:
+        """K-way merge of *sink_id*'s runs, in single-engine order."""
+        return list(merge_runs(self.runs_for(sink_id)))
+
+
 def merge_runs(runs: Sequence[Sequence[StampedRow]]) -> Iterator[StampedRow]:
     """K-way merge of per-shard stamped runs into one deterministic stream.
 

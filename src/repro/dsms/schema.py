@@ -72,6 +72,30 @@ class FieldType(enum.Enum):
             raise SchemaError(f"cannot coerce {value!r} to {self.value}") from exc
         return value
 
+    @property
+    def wire_format(self) -> str | None:
+        """Preferred fixed-width wire encoding for the shard transport.
+
+        A ``struct`` format character for fixed-width types, ``"U"`` for
+        length-prefixed UTF-8 strings, or ``None`` when values of this
+        type have no single wire shape (``ANY``) and must be pickled.
+        The transport treats this as a *hint*: the declared type names
+        the expected column encoding, and the codec still verifies each
+        batch (``accepts`` is deliberately looser than the wire format —
+        e.g. FLOAT admits ints, which pack as ``q`` instead).
+        """
+        return _WIRE_FORMATS.get(self)
+
+
+#: FieldType -> wire format hint (see :attr:`FieldType.wire_format`).
+_WIRE_FORMATS: Mapping[FieldType, str] = {
+    FieldType.INT: "q",
+    FieldType.FLOAT: "d",
+    FieldType.TIMESTAMP: "d",
+    FieldType.BOOL: "B",
+    FieldType.STR: "U",
+}
+
 
 #: Mapping from the type names accepted in ESL-EV DDL to FieldType.
 TYPE_NAMES: Mapping[str, FieldType] = {

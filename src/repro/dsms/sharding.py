@@ -40,27 +40,42 @@ per-tag dedup).
 Executors
 ---------
 
-Two interchangeable executors implement the same routing/merge contract:
+Three interchangeable executors implement the same routing/merge
+contract:
 
 * ``executor='serial'`` — all shards live in this process and every
   record is applied synchronously: the target shard ingests, every other
   shard's clock advances first.  This is the *reference* executor the
   differential tests compare against a single ``Engine``.
-* ``executor='parallel'`` — each shard is a dedicated worker process
-  (one single-worker ``concurrent.futures.ProcessPoolExecutor`` per
-  shard, so shard state has strict worker affinity).  Records are routed
-  into per-shard buffers and handed off in batches; each batch replays
-  through :meth:`Engine.push_batch`-equivalent fused ingestion
-  (:meth:`Stream.batch_ingester`), so the PR-1 fast path applies per
-  shard.  Clock advancement is broadcast at batch boundaries, which
-  preserves merged output *order* (timer outputs are stamped with their
-  deadline either way) at the cost of coarser stamp granularity; see
-  ``docs/PERFORMANCE.md`` for the exact guarantee.
+* ``executor='parallel'`` — the pipe transport
+  (:mod:`repro.dsms.transport`): each shard is one persistent worker
+  process owning its Engine for the sharded engine's lifetime, fed
+  batches over a duplex pipe as struct-packed binary frames
+  (``codec='framed'``, the default) or whole-payload protocol-5 pickles
+  (``codec='pickle'``).  Output frames stream back asynchronously on a
+  per-shard reader thread; dispatch is pipelined with a bounded
+  in-flight window (backpressure) and an adaptive batch-size
+  controller.  Per-shard wire counters are surfaced through
+  :meth:`ShardedEngine.transport_stats`.
+* ``executor='futures'`` — the legacy transport (one single-worker
+  ``concurrent.futures.ProcessPoolExecutor`` per shard, one submitted
+  future per batch epoch, outputs harvested via ``Future.result()``).
+  Kept as the ablation baseline the ``shard_transport`` benchmark
+  measures the pipe transport against.
+
+All executors batch through the same fused ingestion
+(:meth:`Stream.batch_ingester`), so the PR-1 fast path applies per
+shard.  Clock advancement is broadcast at batch boundaries, which
+preserves merged output *order* (timer outputs are stamped with their
+deadline either way) at the cost of coarser stamp granularity; see
+``docs/PERFORMANCE.md`` for the exact guarantee.
 
 Setup (``create_stream`` / ``create_table`` / ``register_udf`` /
 ``query`` / ``collect``) must happen before the first push: the first
-data or clock operation freezes the configuration, and — in parallel
-mode — spawns the worker processes from a declarative replay spec.
+data or clock operation freezes the configuration, and — in process
+modes — spawns the worker processes from a declarative replay spec.
+Call :meth:`ShardedEngine.start` to freeze and wait for workers
+explicitly (benchmarks do, to keep process spawn out of timed regions).
 
 Typical use::
 
@@ -78,11 +93,12 @@ from __future__ import annotations
 
 import zlib
 from collections import deque
+from collections.abc import Mapping as _MappingABC
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from .engine import Collector, Engine, QueryHandle
-from .errors import EslSemanticError
-from .merge import StampedRow, StampedSink, merge_runs
+from .errors import EslSemanticError, TransportError
+from .merge import RunCollector, StampedRow, StampedSink, merge_runs
 from .schema import Schema
 from .tuples import Tuple
 
@@ -94,7 +110,9 @@ def shard_of(key: Any, n_shards: int) -> int:
     latter is salted per process (``PYTHONHASHSEED``) — worker processes
     and the router must agree.
     """
-    return zlib.crc32(str(key).encode("utf-8", "surrogatepass")) % n_shards
+    if type(key) is not str:
+        key = str(key)
+    return zlib.crc32(key.encode("utf-8", "surrogatepass")) % n_shards
 
 
 class _Route:
@@ -122,10 +140,15 @@ class ShardSpec:
     (collector or derived-stream output of a registered query) or
     ``"stream"`` (an explicit :meth:`ShardedEngine.collect`), and ship
     ``"all"`` (every shard emits) or ``"zero"`` (replicated output,
-    shard 0 only).
+    shard 0 only).  ``stream_table`` lists every pushable stream as
+    ``(lowercased_name, Schema)``, in registration order — both ends of
+    the pipe transport derive their interned stream-id and column-packing
+    tables from it, so ids agree without crossing the wire.
     """
 
-    __slots__ = ("ops", "sinks", "compile_expressions", "indexed_state")
+    __slots__ = (
+        "ops", "sinks", "compile_expressions", "indexed_state", "stream_table"
+    )
 
     def __init__(
         self,
@@ -133,11 +156,13 @@ class ShardSpec:
         sinks: Sequence[tuple[str, str, str, str]],
         compile_expressions: bool,
         indexed_state: bool = True,
+        stream_table: Sequence[tuple[str, Schema]] = (),
     ) -> None:
         self.ops = list(ops)
         self.sinks = list(sinks)
         self.compile_expressions = compile_expressions
         self.indexed_state = indexed_state
+        self.stream_table = tuple(stream_table)
 
 
 class _ShardRuntime:
@@ -334,8 +359,12 @@ def _worker_table_rows(name: str) -> list[dict[str, Any]]:
     return _WORKER_RUNTIME.table_rows(name)
 
 
-class _ParallelExecutor:
-    """Process-backed executor: one worker process per shard.
+def _worker_ready() -> bool:
+    return _WORKER_RUNTIME is not None
+
+
+class _FuturesExecutor:
+    """Legacy process-backed executor: one pool + future per batch epoch.
 
     Records accumulate in per-shard buffers; when any buffer reaches
     ``batch_size`` the router dispatches *all* shards — loaded ones get
@@ -343,13 +372,31 @@ class _ParallelExecutor:
     heartbeat — so windows and timeouts expire across every shard at each
     batch epoch.  Worker affinity is strict: each shard's pool has
     exactly one worker, so per-shard operator state never migrates.
+
+    This is the transport the pipe executor replaced (select it with
+    ``executor='futures'``): every epoch pays executor machinery — a
+    pickled submission, a work-queue hop, and a ``Future.result()``
+    round trip — per shard.  It is kept as the ablation baseline for the
+    ``shard_transport`` benchmark, with the same heartbeat accounting
+    (heartbeat-only submissions are counted and *skipped* when the clock
+    stamp is not newer than the shard's last) and with teardown on a
+    failed worker batch, which used to leave pools alive with pending
+    futures.
     """
 
-    def __init__(self, spec: ShardSpec, n_shards: int, batch_size: int) -> None:
+    def __init__(
+        self,
+        spec: ShardSpec,
+        n_shards: int,
+        batch_size: int,
+        measure_bytes: bool = False,
+    ) -> None:
         from concurrent.futures import ProcessPoolExecutor
 
         self._n = n_shards
         self._batch_size = batch_size
+        self._measure_bytes = measure_bytes
+        self._closed = False
         self._pools = [
             ProcessPoolExecutor(
                 max_workers=1, initializer=_worker_init, initargs=(spec, i, n_shards)
@@ -363,23 +410,65 @@ class _ParallelExecutor:
         self._runs: dict[str, list[list[StampedRow]]] = {}
         self._max_ts: float | None = None
         self._max_g = 0
+        self._last_sent_ts: list[float | None] = [None] * n_shards
+        self.frames_sent = [0] * n_shards
+        self.heartbeat_frames = [0] * n_shards
+        self.records_sent = [0] * n_shards
+        self.bytes_sent = [0] * n_shards
+        self.round_trips = [0] * n_shards
+
+    def warm_up(self) -> None:
+        """Block until every shard's worker process is initialized."""
+        futures = [pool.submit(_worker_ready) for pool in self._pools]
+        for future in futures:
+            future.result()
 
     def _absorb(self, shard: int, outputs: dict[str, list[StampedRow]]) -> None:
         for sink_id, rows in outputs.items():
             per_shard = self._runs.setdefault(sink_id, [[] for _ in range(self._n)])
             per_shard[shard].extend(rows)
 
+    def _result(self, shard: int, future) -> dict[str, list[StampedRow]]:
+        """``Future.result()`` with teardown: a failed worker batch must
+        not leave N pools alive with pending futures."""
+        try:
+            outputs = future.result()
+        except BaseException:
+            self.close(sync=False)
+            raise
+        self.round_trips[shard] += 1
+        return outputs
+
     def _harvest_ready(self, shard: int) -> None:
         pending = self._pending[shard]
         while pending and pending[0].done():
-            self._absorb(shard, pending.popleft().result())
+            self._absorb(shard, self._result(shard, pending.popleft()))
 
     def _dispatch_all(self, advance_to: tuple[int, float] | None) -> None:
         for shard, pool in enumerate(self._pools):
             records = self._buffers[shard]
-            if not records and advance_to is None:
-                continue
+            if not records:
+                # Heartbeat-only epoch: skip unless the clock stamp is
+                # genuinely newer than this shard's last — a stale stamp
+                # cannot fire timers, so re-dispatching it is pure
+                # amplification.
+                last = self._last_sent_ts[shard]
+                if advance_to is None or (
+                    last is not None and advance_to[1] <= last
+                ):
+                    continue
+                self.heartbeat_frames[shard] += 1
             self._buffers[shard] = []
+            if advance_to is not None:
+                self._last_sent_ts[shard] = advance_to[1]
+            if self._measure_bytes:
+                import pickle
+
+                self.bytes_sent[shard] += len(
+                    pickle.dumps((records, advance_to), protocol=5)
+                )
+            self.frames_sent[shard] += 1
+            self.records_sent[shard] += len(records)
             self._pending[shard].append(
                 pool.submit(_worker_batch, records, advance_to)
             )
@@ -414,6 +503,7 @@ class _ParallelExecutor:
     def flush_all(self, g: int) -> None:
         self._dispatch_all(None)
         for shard, pool in enumerate(self._pools):
+            self.frames_sent[shard] += 1
             self._pending[shard].append(pool.submit(_worker_flush, g))
         self.sync()
 
@@ -429,7 +519,7 @@ class _ParallelExecutor:
         for shard in range(self._n):
             pending = self._pending[shard]
             while pending:
-                self._absorb(shard, pending.popleft().result())
+                self._absorb(shard, self._result(shard, pending.popleft()))
 
     def outputs(self) -> dict[str, list[list[StampedRow]]]:
         self.sync()
@@ -445,12 +535,233 @@ class _ParallelExecutor:
         futures = [pool.submit(_worker_table_rows, name) for pool in self._pools]
         return [future.result() for future in futures]
 
-    def close(self) -> None:
+    def stats(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "shard": shard,
+                "frames_sent": self.frames_sent[shard],
+                "heartbeat_frames": self.heartbeat_frames[shard],
+                "records_sent": self.records_sent[shard],
+                "bytes_sent": self.bytes_sent[shard],
+                "round_trips": self.round_trips[shard],
+            }
+            for shard in range(self._n)
+        ]
+
+    def alive_workers(self) -> int:
+        if self._closed:
+            return 0
+        return len(self._pools)
+
+    def close(self, sync: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
         try:
-            self.sync()
+            if sync:
+                self.sync()
         finally:
             for pool in self._pools:
                 pool.shutdown(wait=True, cancel_futures=True)
+
+
+class _PipeExecutor:
+    """Pipe-transport executor: persistent workers, framed dispatch.
+
+    Same routing/merge contract as the other executors, different
+    plumbing: each shard is a :class:`~repro.dsms.transport.ShardWorkerClient`
+    wrapping one long-lived worker process, outputs stream back on reader
+    threads into a :class:`~repro.dsms.merge.RunCollector`, and dispatch
+    thresholds per shard are governed by an
+    :class:`~repro.dsms.transport.AdaptiveBatcher` (when enabled).  Any
+    exception escaping a transport operation tears the workers down
+    before re-raising — a dead executor must not hold N processes.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        n_shards: int,
+        batch_size: int,
+        codec: str = "framed",
+        start_method: str | None = None,
+        max_inflight: int = 2,
+        adaptive_batch: bool = True,
+    ) -> None:
+        import multiprocessing
+
+        from .transport import AdaptiveBatcher, ShardWorkerClient
+
+        self._n = n_shards
+        self.codec = codec
+        self._closed = False
+        self._collector = RunCollector()
+        for sink_id, _kind, _target, _ship in spec.sinks:
+            self._collector.register(sink_id, n_shards)
+        context = multiprocessing.get_context(start_method)
+        self._clients: list[ShardWorkerClient] = []
+        try:
+            for shard in range(n_shards):
+                self._clients.append(
+                    ShardWorkerClient(
+                        spec,
+                        shard,
+                        n_shards,
+                        codec,
+                        context,
+                        self._collector.absorb,
+                        max_inflight=max_inflight,
+                    )
+                )
+        except BaseException:
+            self.close(sync=False)
+            raise
+        self._batchers = [
+            AdaptiveBatcher(batch_size) if adaptive_batch
+            else AdaptiveBatcher(batch_size, min_size=batch_size,
+                                 max_size=batch_size)
+            for _ in range(n_shards)
+        ]
+        self._buffers: list[list[tuple[int, str, Any, float]]] = [
+            [] for _ in range(n_shards)
+        ]
+        self._max_ts: float | None = None
+        self._max_g = 0
+
+    def warm_up(self) -> None:
+        """Block until every worker has built its shard engine (HELLO)."""
+        try:
+            for client in self._clients:
+                client.wait_ready()
+        except BaseException:
+            self.close(sync=False)
+            raise
+
+    def _dispatch_all(self, advance_to: tuple[int, float] | None) -> None:
+        for shard, client in enumerate(self._clients):
+            records = self._buffers[shard]
+            if records:
+                self._buffers[shard] = []
+                client.send_batch(records, advance_to)
+                batcher = self._batchers[shard]
+                for rtt_s, n_records in client.take_rtt_samples():
+                    batcher.observe(rtt_s, n_records)
+            elif advance_to is not None and (
+                client.last_sent_ts is None
+                or advance_to[1] > client.last_sent_ts
+            ):
+                # Coalesced heartbeat: one small advance frame, and only
+                # when the stamp is newer — a stale clock cannot fire
+                # timers or produce outputs, so skipping preserves the
+                # merge order exactly.
+                client.send_advance(advance_to[0], advance_to[1])
+
+    def _note(self, g: int, ts: float) -> None:
+        self._max_g = g
+        if self._max_ts is None or ts > self._max_ts:
+            self._max_ts = ts
+
+    def _guard(self, fn, *args):
+        try:
+            return fn(*args)
+        except BaseException:
+            self.close(sync=False)
+            raise
+
+    def route_one(self, shard: int, g: int, stream: str, values: Any, ts: float) -> None:
+        self._note(g, ts)
+        buffer = self._buffers[shard]
+        buffer.append((g, stream, values, ts))
+        if len(buffer) >= self._batchers[shard].size:
+            self._guard(self._dispatch_all, (g, self._max_ts))
+
+    def broadcast_one(self, g: int, stream: str, values: Any, ts: float) -> None:
+        self._note(g, ts)
+        record = (g, stream, values, ts)
+        full = False
+        for shard, buffer in enumerate(self._buffers):
+            buffer.append(record)
+            full = full or len(buffer) >= self._batchers[shard].size
+        if full:
+            self._guard(self._dispatch_all, (g, self._max_ts))
+
+    def advance_all(self, g: int, ts: float) -> None:
+        self._note(g, ts)
+        self._guard(self._dispatch_all, (g, ts))
+
+    def _flush_all(self, g: int) -> None:
+        self._dispatch_all(None)
+        for client in self._clients:
+            client.send_flush(g)
+        for client in self._clients:
+            client.drain()
+
+    def flush_all(self, g: int) -> None:
+        self._guard(self._flush_all, g)
+
+    def _sync(self) -> None:
+        if any(self._buffers):
+            advance = (
+                None if self._max_ts is None else (self._max_g, self._max_ts)
+            )
+            self._dispatch_all(advance)
+        for client in self._clients:
+            client.drain()
+
+    def sync(self) -> None:
+        """Barrier: drain buffers, then wait until every frame is acked."""
+        self._guard(self._sync)
+
+    def outputs(self) -> dict[str, list[list[StampedRow]]]:
+        self.sync()
+        collector = self._collector
+        return {
+            sink_id: collector.runs_for(sink_id)
+            for sink_id in collector.sink_ids()
+        }
+
+    def query_state_sizes(self, label: str) -> list[int]:
+        self.sync()
+        return self._guard(
+            lambda: [
+                client.call("query_state_size", label)
+                for client in self._clients
+            ]
+        )
+
+    def table_rows(self, name: str) -> list[list[dict[str, Any]]]:
+        self.sync()
+        return self._guard(
+            lambda: [client.call("table_rows", name) for client in self._clients]
+        )
+
+    def stats(self) -> list[dict[str, Any]]:
+        stats = []
+        for shard, client in enumerate(self._clients):
+            entry = client.stats()
+            batcher = self._batchers[shard] if self._batchers else None
+            if batcher is not None:
+                entry["batch_size"] = batcher.size
+                entry["batch_growths"] = batcher.growths
+                entry["batch_shrinks"] = batcher.shrinks
+            stats.append(entry)
+        return stats
+
+    def alive_workers(self) -> int:
+        return sum(1 for client in self._clients if client.alive)
+
+    def close(self, sync: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if sync:
+                self._sync()
+        except TransportError:
+            pass  # tearing down a failed transport must not mask the cause
+        finally:
+            for client in self._clients:
+                client.close()
 
 
 # ---------------------------------------------------------------------------
@@ -508,7 +819,14 @@ class ShardedQueryHandle:
         merged = self.sharded._merged(self.sink_id)
         schema = self.schema
         stream = self.stream_name
-        return [Tuple(schema, values, ts, stream) for ts, _g, _s, _l, values in merged]
+        trusted = Tuple.trusted
+        # Row width is guaranteed by the shard engine's schema (and, over
+        # the pipe transport, re-checked by the frame codec), so the
+        # trusted constructor is safe here.
+        return [
+            trusted(schema, values, ts, stream)
+            for ts, _g, _s, _l, values in merged
+        ]
 
     def rows(self) -> list[dict[str, Any]]:
         """Merged output as plain dicts."""
@@ -541,14 +859,29 @@ class ShardedEngine:
 
     Args:
         n_shards: number of inner engines (>= 1).
-        executor: ``'serial'`` (in-process reference) or ``'parallel'``
-            (one worker process per shard, batched hand-off).
+        executor: ``'serial'`` (in-process reference), ``'parallel'``
+            (persistent pipe workers, framed transport), or ``'futures'``
+            (legacy one-future-per-batch ProcessPoolExecutor transport,
+            kept as the ablation baseline).
         shard_by: explicit ``{stream_name: key_field}`` routing overrides;
             takes precedence over hoisted partition keys.
         compile_expressions: forwarded to every inner Engine.
         indexed_state: forwarded to every inner Engine (sequence-operator
             state indexing; see :class:`~repro.dsms.engine.Engine`).
-        batch_size: records buffered per shard before a parallel hand-off.
+        batch_size: records buffered per shard before a parallel hand-off
+            (the adaptive controller's starting point under ``parallel``).
+        codec: pipe-transport payload encoding, ``'framed'`` (columnar
+            struct packing) or ``'pickle'`` (protocol-5 pickle over the
+            same framing); ignored by the other executors.
+        start_method: multiprocessing start method for pipe workers
+            (``None`` = platform default); ignored by other executors.
+        max_inflight: un-acknowledged frames allowed per pipe worker
+            before dispatch blocks (double-buffered by default).
+        adaptive_batch: let observed round-trip latency grow/shrink the
+            per-shard dispatch threshold (``parallel`` only).
+        measure_bytes: make the ``futures`` executor count submission
+            bytes by pickling each batch a second time — measurement
+            overhead, so keep it off for timed runs.
     """
 
     def __init__(
@@ -559,16 +892,31 @@ class ShardedEngine:
         compile_expressions: bool = True,
         indexed_state: bool = True,
         batch_size: int = 2048,
+        codec: str = "framed",
+        start_method: str | None = None,
+        max_inflight: int = 2,
+        adaptive_batch: bool = True,
+        measure_bytes: bool = False,
     ) -> None:
         if n_shards < 1:
             raise EslSemanticError(f"n_shards must be >= 1, got {n_shards}")
-        if executor not in ("serial", "parallel"):
+        if executor not in ("serial", "parallel", "futures"):
             raise EslSemanticError(
-                f"unknown executor {executor!r}: expected 'serial' or 'parallel'"
+                f"unknown executor {executor!r}: expected 'serial', "
+                "'parallel', or 'futures'"
+            )
+        if codec not in ("framed", "pickle"):
+            raise EslSemanticError(
+                f"unknown codec {codec!r}: expected 'framed' or 'pickle'"
             )
         self.n_shards = n_shards
         self.executor_kind = executor
         self.batch_size = batch_size
+        self.codec = codec
+        self.start_method = start_method
+        self.max_inflight = max_inflight
+        self.adaptive_batch = adaptive_batch
+        self.measure_bytes = measure_bytes
         self.compile_expressions = compile_expressions
         self.indexed_state = indexed_state
         self.shard_by = {
@@ -584,7 +932,9 @@ class ShardedEngine:
         self._routes: dict[str, _Route] = {}
         self._handles: dict[str, ShardedQueryHandle] = {}
         self._table_replicated: dict[str, bool] = {}
-        self._executor: _SerialExecutor | _ParallelExecutor | None = None
+        self._executor: (
+            _SerialExecutor | _PipeExecutor | _FuturesExecutor | None
+        ) = None
         self._g = 0
         self._max_ts: float | None = None
         self._query_counter = 0
@@ -819,7 +1169,9 @@ class ShardedEngine:
             )
 
         def key_of(values: Any) -> Any:
-            if isinstance(values, Mapping):
+            # type-is-dict first: typing.Mapping's __instancecheck__ costs
+            # more than the rest of this function on the per-record path.
+            if type(values) is dict or isinstance(values, _MappingABC):
                 return values.get(actual)
             return values[position]
 
@@ -843,13 +1195,44 @@ class ShardedEngine:
                 route = self._routes[target.lower()]
                 ship = "zero" if route.policy == "broadcast" else "all"
             sinks.append((sink_id, kind, target, ship))
+        stream_table = tuple(
+            (stream.name.lower(), stream.schema)
+            for stream in self.catalog.streams
+        )
         spec = ShardSpec(
-            self._ops, sinks, self.compile_expressions, self.indexed_state
+            self._ops, sinks, self.compile_expressions, self.indexed_state,
+            stream_table,
         )
         if self.executor_kind == "serial":
             self._executor = _SerialExecutor(spec, self.n_shards)
+        elif self.executor_kind == "futures":
+            self._executor = _FuturesExecutor(
+                spec, self.n_shards, self.batch_size,
+                measure_bytes=self.measure_bytes,
+            )
         else:
-            self._executor = _ParallelExecutor(spec, self.n_shards, self.batch_size)
+            self._executor = _PipeExecutor(
+                spec,
+                self.n_shards,
+                self.batch_size,
+                codec=self.codec,
+                start_method=self.start_method,
+                max_inflight=self.max_inflight,
+                adaptive_batch=self.adaptive_batch,
+            )
+
+    def start(self) -> "ShardedEngine":
+        """Freeze the configuration and wait for worker processes.
+
+        Optional — the first push freezes implicitly — but benchmarks
+        call it so process spawn and engine construction stay out of
+        timed regions, for every executor alike.
+        """
+        self._freeze()
+        warm_up = getattr(self._executor, "warm_up", None)
+        if warm_up is not None:
+            warm_up()
+        return self
 
     def _executor_for_stats(self):
         self._freeze()
@@ -970,6 +1353,46 @@ class ShardedEngine:
         if route is None:
             return (None, None)
         return (route.policy, route.field)
+
+    def transport_stats(self) -> dict[str, Any]:
+        """Per-shard transport counters, plus summed totals.
+
+        ``per_shard`` entries carry whatever the active executor tracks —
+        for the pipe transport: ``frames_sent``, ``heartbeat_frames``,
+        ``records_sent``, ``bytes_sent``/``bytes_received``,
+        ``round_trips``, router-side ``encode_s``/``decode_s``,
+        worker-side ``worker_encode_s``/``worker_decode_s``, and the
+        adaptive controller's ``batch_size``/``batch_growths``/
+        ``batch_shrinks``; for the futures executor: frame/heartbeat/
+        record/round-trip counts (bytes only under ``measure_bytes``).
+        The serial executor has no transport, so ``per_shard`` is empty.
+        Counters survive :meth:`close` — benchmarks read them after
+        tearing the workers down.
+        """
+        self._freeze()
+        stats_fn = getattr(self._executor, "stats", None)
+        per_shard = stats_fn() if stats_fn is not None else []
+        totals: dict[str, Any] = {}
+        for entry in per_shard:
+            for key, value in entry.items():
+                if key == "shard" or not isinstance(value, (int, float)):
+                    continue
+                totals[key] = totals.get(key, 0) + value
+        return {
+            "executor": self.executor_kind,
+            "codec": self.codec if self.executor_kind == "parallel" else None,
+            "n_shards": self.n_shards,
+            "per_shard": per_shard,
+            "totals": totals,
+        }
+
+    def alive_workers(self) -> int:
+        """Worker processes still running (always 0 for the serial
+        executor, and 0 after :meth:`close` or an error teardown)."""
+        if self._executor is None:
+            return 0
+        fn = getattr(self._executor, "alive_workers", None)
+        return fn() if fn is not None else 0
 
     # -- lifecycle -------------------------------------------------------
 

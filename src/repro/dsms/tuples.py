@@ -75,19 +75,23 @@ class Tuple:
 
     @classmethod
     def trusted(
-        cls, schema: Schema, values: Sequence[Any], ts: float
+        cls, schema: Schema, values: Sequence[Any], ts: float,
+        stream: str = "",
     ) -> "Tuple":
         """Construct without width validation or timestamp coercion.
 
         For compiled emit paths whose projection plan already guarantees a
-        schema-width value list and a float timestamp; otherwise identical
-        to the checked constructor (stream unset, fresh sequence number).
+        schema-width value list and a float timestamp — and for the shard
+        transport, which rebuilds result tuples from decoded frames whose
+        width the codec has already checked.  Otherwise identical to the
+        checked constructor (fresh sequence number; *stream* defaults to
+        unset).
         """
         tup = cls.__new__(cls)
         tup.schema = schema
         tup.values = tuple(values)
         tup.ts = ts
-        tup.stream = ""
+        tup.stream = stream
         tup.seq = next(_GLOBAL_SEQ)
         return tup
 

@@ -95,6 +95,8 @@ def build_dedup_sharded(
     n_shards: int = 4,
     executor: str = "serial",
     compile_expressions: bool = True,
+    codec: str = "framed",
+    **engine_kwargs: Any,
 ) -> Scenario:
     """Example 1 dedup on a :class:`ShardedEngine`.
 
@@ -108,6 +110,8 @@ def build_dedup_sharded(
         executor=executor,
         shard_by={"readings": "tag_id"},
         compile_expressions=compile_expressions,
+        codec=codec,
+        **engine_kwargs,
     )
     engine.create_stream("readings", "reader_id str, tag_id str, read_time float")
     engine.create_stream(
@@ -247,6 +251,8 @@ def build_lab_workflow_sharded(
     n_shards: int = 4,
     executor: str = "serial",
     compile_expressions: bool = True,
+    codec: str = "framed",
+    **engine_kwargs: Any,
 ) -> Scenario:
     """Example 5 on a :class:`ShardedEngine`, using the tagid-partitioned
     query variant.  Active-expiration timeouts fire on every shard via the
@@ -255,6 +261,8 @@ def build_lab_workflow_sharded(
         n_shards=n_shards,
         executor=executor,
         compile_expressions=compile_expressions,
+        codec=codec,
+        **engine_kwargs,
     )
     for name in ("a1", "a2", "a3"):
         engine.create_stream(name, "tagid str, tagtime float")
@@ -322,6 +330,8 @@ def build_quality_check_sharded(
     compile_expressions: bool = True,
     indexed_state: bool = True,
     batch_size: int = 2048,
+    codec: str = "framed",
+    **engine_kwargs: Any,
 ) -> Scenario:
     """Example 6 on a :class:`ShardedEngine`.
 
@@ -334,6 +344,8 @@ def build_quality_check_sharded(
         compile_expressions=compile_expressions,
         indexed_state=indexed_state,
         batch_size=batch_size,
+        codec=codec,
+        **engine_kwargs,
     )
     for name in ("c1", "c2", "c3", "c4"):
         engine.create_stream(name, "readerid str, tagid str, tagtime float")

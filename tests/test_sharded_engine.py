@@ -215,7 +215,8 @@ def test_shard_by_unknown_field_raises():
         engine.close()
 
 
-def test_broadcast_then_partitioned_runs_replicated():
+@pytest.mark.parametrize("executor", ["serial", "parallel"])
+def test_broadcast_then_partitioned_runs_replicated(executor):
     """A broadcast pin (from an earlier keyless query) demotes a later
     partitionable query to replicated — correct, just not parallel."""
     workload = quality_check_workload(n_products=25, seed=45)
@@ -227,7 +228,7 @@ def test_broadcast_then_partitioned_runs_replicated():
     single_engine.run_trace(workload.trace)
     single_engine.flush()
 
-    engine = _quality_engine(n_shards=3)
+    engine = _quality_engine(n_shards=3, executor=executor, batch_size=32)
     try:
         tally = engine.query("SELECT count(tagid) FROM c1", name="t")
         quality = engine.query(quality_query_text(), name="q")
@@ -260,3 +261,142 @@ def test_invalid_constructor_args():
         ShardedEngine(n_shards=0)
     with pytest.raises(EslSemanticError):
         ShardedEngine(executor="threads")
+    with pytest.raises(EslSemanticError):
+        ShardedEngine(codec="msgpack")
+
+
+# -- pipe transport: routing mixes, epochs, lifecycle ----------------------
+
+
+def test_mixed_hash_and_broadcast_parallel_matches_single():
+    """Hash-routed SEQ streams and a broadcast (replicated keyless query)
+    stream in one parallel engine: both outputs match the single engine."""
+    workload = quality_check_workload(n_products=25, seed=48)
+
+    single = Engine()
+    for name, schema in QUALITY_DDL:
+        single.create_stream(name, schema)
+    single.create_stream("audit", "tagid str")
+    q_single = single.query(quality_query_text(), name="q")
+    t_single = single.query("SELECT count(tagid) FROM audit", name="t")
+    for stream, values, ts in workload.trace:
+        single.push(stream, values, ts=ts)
+        if stream == "c1":
+            single.push("audit", (values["tagid"],), ts=ts)
+    single.flush()
+
+    engine = _quality_engine(n_shards=3, executor="parallel", batch_size=32)
+    try:
+        engine.create_stream("audit", "tagid str")
+        quality = engine.query(quality_query_text(), name="q")
+        tally = engine.query("SELECT count(tagid) FROM audit", name="t")
+        for stream, values, ts in workload.trace:
+            engine.push(stream, values, ts=ts)
+            if stream == "c1":
+                engine.push("audit", (values["tagid"],), ts=ts)
+        engine.flush()
+        assert engine.route_for("c1") == ("hash", "tagid")
+        assert engine.route_for("audit") == ("broadcast", None)
+        assert quality.rows() == q_single.rows()
+        assert tally.rows() == t_single.rows()
+    finally:
+        engine.close()
+
+
+def test_workflow_exception_seq_parallel_across_batch_epochs():
+    """Timer-driven EXCEPTION_SEQ violations with a tiny batch size: the
+    timeouts that produce violation tuples fire from clock advances that
+    cross many transport batch epochs, and the merged order must still be
+    the single engine's."""
+    workload = lab_workflow_workload(n_runs=25, violation_rate=0.4, seed=49)
+    expected = build_lab_workflow(workload, partitioned=True).feed(
+        advance_to=1e9
+    ).rows()
+    assert expected, "workload must produce violations for this test"
+    scenario = build_lab_workflow_sharded(
+        workload, n_shards=2, executor="parallel", batch_size=8
+    ).feed(advance_to=1e9)
+    try:
+        assert scenario.rows() == expected
+    finally:
+        scenario.engine.close()
+
+
+def test_context_manager_and_close_idempotent():
+    workload = quality_check_workload(n_products=15, seed=46)
+    expected_rows, _ = quality_rows(workload)
+    scenario = build_quality_check_sharded(
+        workload, n_shards=2, executor="parallel", batch_size=32
+    )
+    with scenario.engine as engine:
+        assert scenario.feed().rows() == expected_rows
+        assert engine.alive_workers() == 2
+    assert engine.alive_workers() == 0
+    engine.close()  # second close is a no-op
+    assert engine.alive_workers() == 0
+
+
+def test_transport_stats_shape():
+    workload = quality_check_workload(n_products=10, seed=47)
+    scenario = build_quality_check_sharded(
+        workload, n_shards=2, executor="parallel", batch_size=16
+    ).feed()
+    try:
+        stats = scenario.engine.transport_stats()
+        assert stats["executor"] == "parallel"
+        assert stats["codec"] == "framed"
+        assert stats["n_shards"] == 2
+        assert len(stats["per_shard"]) == 2
+        for entry in stats["per_shard"]:
+            for key in (
+                "frames_sent", "heartbeat_frames", "records_sent",
+                "bytes_sent", "bytes_received", "round_trips",
+                "encode_s", "decode_s", "worker_encode_s",
+                "worker_decode_s", "batch_size",
+            ):
+                assert key in entry, key
+        totals = stats["totals"]
+        # Hash routing ships every trace record to exactly one shard.
+        assert totals["records_sent"] == len(workload.trace)
+        assert totals["frames_sent"] >= totals["round_trips"] > 0
+        assert totals["bytes_sent"] > 0 and totals["bytes_received"] > 0
+    finally:
+        scenario.engine.close()
+
+
+def test_serial_transport_stats_empty():
+    engine = _quality_engine()
+    try:
+        engine.query(quality_query_text(), name="quality")
+        engine.push(
+            "c1", {"readerid": "r", "tagid": "t", "tagtime": 1.0}, ts=1.0
+        )
+        stats = engine.transport_stats()
+        assert stats["executor"] == "serial"
+        assert stats["codec"] is None
+        assert stats["per_shard"] == []
+        assert stats["totals"] == {}
+        assert engine.alive_workers() == 0
+    finally:
+        engine.close()
+
+
+def test_duplicate_and_stale_heartbeats_coalesce():
+    """Only a strictly newer clock stamp reaches the workers: duplicate
+    and stale advances are absorbed router-side (a stale clock cannot
+    fire timers, so skipping preserves merge order exactly)."""
+    engine = _quality_engine(executor="parallel", batch_size=1024)
+    try:
+        engine.query(quality_query_text(), name="quality")
+        engine.advance_time(10.0)
+        baseline = engine.transport_stats()["totals"]["heartbeat_frames"]
+        assert baseline == 2  # one advance frame per shard
+        engine.advance_time(10.0)  # duplicate stamp: coalesced away
+        engine.advance_time(9.0)  # stale stamp: skipped
+        totals = engine.transport_stats()["totals"]
+        assert totals["heartbeat_frames"] == baseline
+        engine.advance_time(11.0)  # newer stamp: one frame per shard again
+        totals = engine.transport_stats()["totals"]
+        assert totals["heartbeat_frames"] == baseline + 2
+    finally:
+        engine.close()
