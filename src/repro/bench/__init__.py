@@ -22,8 +22,10 @@ from .runners import (
     run_operator_state,
     run_shard_transport,
     run_sharded_scaling,
+    run_vectorized_admission,
     scaling_speedup,
     transport_speedup,
+    vectorized_speedup,
     weak_efficiency,
 )
 
@@ -41,11 +43,13 @@ __all__ = [
     "run_operator_state",
     "run_shard_transport",
     "run_sharded_scaling",
+    "run_vectorized_admission",
     "scaling_speedup",
     "summarize_rows",
     "sweep",
     "throughput",
     "transport_speedup",
+    "vectorized_speedup",
     "weak_efficiency",
     "wire_summary",
 ]

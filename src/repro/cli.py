@@ -187,6 +187,8 @@ def run_bench(argv: Sequence[str]) -> int:
     if args.codec is not None:
         kwargs["codec"] = args.codec
     accepted = inspect.signature(runner).parameters
+    if "n_products" in kwargs and "n_products" not in accepted and "n_rows" in accepted:
+        kwargs["n_rows"] = kwargs.pop("n_products")  # row-sized workloads
     dropped = sorted(set(kwargs) - set(accepted))
     if dropped:
         print(
@@ -231,6 +233,19 @@ def run_bench(argv: Sequence[str]) -> int:
         if report.meta.get("cpu_limited"):
             line += " (cpu-limited: arms share cores, read as parity check)"
         print(line, file=sys.stderr)
+    vectorized = report.meta.get("speedup_vectorized_vs_scalar")
+    if vectorized:
+        by_sel = report.meta.get(
+            "speedup_vectorized_vs_scalar_by_selectivity", {}
+        )
+        detail = ", ".join(
+            f"{sel}: {value:.2f}x" for sel, value in by_sel.items()
+        )
+        print(
+            f"# vectorized vs scalar: {vectorized:.2f}x"
+            + (f" ({detail})" if detail else ""),
+            file=sys.stderr,
+        )
     return 0
 
 

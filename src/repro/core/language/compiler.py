@@ -36,6 +36,7 @@ from ...dsms.expressions import (
     EvalFn,
     Expression,
     Literal,
+    compile_vector,
     truthy,
 )
 from ...dsms.schema import Schema, TYPE_NAMES, FieldType
@@ -442,6 +443,47 @@ def _compile_where_probe(
     return check
 
 
+def _attach_filter_vector_hook(
+    on_tuple: Callable[[Tuple], None],
+    guard_terms: Sequence[Expression],
+    stream: Stream,
+    alias: str,
+) -> None:
+    """Give a filter subscription a columnar admission mask when possible.
+
+    The mask mirrors the strict WHERE discipline (a term value that is not
+    True rejects the row) over the residual guard terms only: any EXISTS
+    probes run scalar-side, but a row failing a guard term fails the full
+    check regardless, so dropping it early is sound.  Survivors are still
+    evaluated by ``on_tuple``; the mask may only skip materializing rows it
+    proves rejected.  Any lowering gap or runtime error degrades to None —
+    "materialize everything" — which is exactly the scalar path.
+    """
+    if not guard_terms:
+        return
+    fns = []
+    for term in guard_terms:
+        fn = compile_vector(term, stream.schema, alias)
+        if fn is None:
+            return
+        fns.append(fn)
+    vector_fns = tuple(fns)
+
+    def vector_admission(cols: Any, tss: Any, n: int) -> list | None:
+        try:
+            out = [True] * n
+            for fn in vector_fns:
+                values = fn(cols, tss, n)
+                for index in range(n):
+                    if values[index] is not True:  # strict: NULL rejects
+                        out[index] = False
+            return out
+        except Exception:  # noqa: BLE001 - any error -> scalar path
+            return None
+
+    on_tuple.vector_admission = vector_admission  # type: ignore[attr-defined]
+
+
 # ---------------------------------------------------------------------------
 # EXISTS sub-queries
 # ---------------------------------------------------------------------------
@@ -646,6 +688,11 @@ def _compile_filter(engine: Engine, analysis: Analysis, label: str) -> QueryHand
             env = Env({source_key: tup}, functions)
             if check(env):
                 emit([fn(env) for fn in item_fns], tup.ts)
+
+        if bool(getattr(engine, "vectorized_admission", False)):
+            _attach_filter_vector_hook(
+                on_tuple, analysis.guard_terms, stream, source.alias
+            )
 
     teardowns.append(stream.subscribe(on_tuple))
     handle = QueryHandle(engine, label, sink.stream, sink.collector, teardowns)

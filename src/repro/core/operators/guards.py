@@ -37,7 +37,9 @@ from ...dsms.expressions import (
     Env,
     EvalFn,
     Expression,
+    compile_vector,
 )
+from ...dsms.schema import Schema
 
 __all__ = ["CompiledGuard", "build_compiled_guard"]
 
@@ -86,13 +88,14 @@ class CompiledGuard:
     members all passed admission.
     """
 
-    __slots__ = ("_admission", "_cross", "_env", "aliases")
+    __slots__ = ("_admission", "_cross", "_env", "_admission_terms", "aliases")
 
     def __init__(
         self,
         admission: Mapping[str, Sequence[Callable[[Env], bool]]],
         cross: Sequence[Callable[[Env], bool]],
         env: Env,
+        admission_terms: Mapping[str, Sequence[Expression]] | None = None,
     ) -> None:
         self._admission = {alias.lower(): tuple(fns) for alias, fns in admission.items()}
         self._cross = tuple(cross)
@@ -100,6 +103,13 @@ class CompiledGuard:
         # synchronous and operator-local, so rebinding per call is safe and
         # avoids an allocation per check.
         self._env = env
+        # Raw expression IR of the admission terms, kept so the vectorized
+        # admission tier can re-lower them against a concrete stream schema
+        # (compile() bakes in Env access; compile_vector() needs columns).
+        self._admission_terms = {
+            alias.lower(): tuple(terms)
+            for alias, terms in (admission_terms or {}).items()
+        }
         self.aliases = frozenset(self._admission)
 
     @property
@@ -118,6 +128,55 @@ class CompiledGuard:
             if not fn(env):
                 return False
         return True
+
+    def vector_admission(
+        self, alias: str, schema: Schema
+    ) -> Callable[[Any, Any, int], list | None] | None:
+        """A whole-batch admission mask for *alias*, or None if unavailable.
+
+        Lowers every one of *alias*'s admission terms with
+        :func:`~repro.dsms.expressions.compile_vector` against *schema*
+        (the stream delivering that argument).  The returned closure maps
+        a batch's ``(columns, timestamps, n)`` to a per-row boolean list:
+        True rows may be admitted by :meth:`admit`, False rows are
+        guaranteed to fail it.  Matching the lenient discipline, a term
+        value that is not False (True or NULL) passes; if evaluation
+        raises, the closure returns None — "mask unavailable, materialize
+        everything" — and the scalar re-check preserves exact semantics.
+        """
+        terms = self._admission_terms.get(alias.lower())
+        if not terms:
+            return None
+        fns = []
+        for term in terms:
+            fn = compile_vector(term, schema, alias)
+            if fn is None:
+                return None
+            fns.append(fn)
+        if len(fns) == 1:
+            sole = fns[0]
+
+            def single_mask(cols: Any, tss: Any, n: int) -> list | None:
+                try:
+                    return [value is not False for value in sole(cols, tss, n)]
+                except Exception:  # noqa: BLE001 - any error -> scalar path
+                    return None
+
+            return single_mask
+
+        def mask(cols: Any, tss: Any, n: int) -> list | None:
+            try:
+                out = [True] * n
+                for fn in fns:
+                    values = fn(cols, tss, n)
+                    for index in range(n):
+                        if values[index] is False:
+                            out[index] = False
+                return out
+            except Exception:  # noqa: BLE001 - any error -> scalar path
+                return None
+
+        return mask
 
     def pairing(self, bindings: Mapping[str, Any]) -> bool:
         """Check only the cross-alias conjuncts (members already admitted)."""
@@ -153,12 +212,17 @@ def build_compiled_guard(
     """Compile guard *terms*, splitting them over *arg_aliases*."""
     known = {alias.lower(): None for alias in arg_aliases}
     admission: dict[str, list[Callable[[Env], bool]]] = {}
+    admission_terms: dict[str, list[Expression]] = {}
     cross: list[Callable[[Env], bool]] = []
     for term in terms:
         fn = _lenient(term.compile(ctx))
         aliases = _term_aliases(term, known)
         if aliases is not None and len(aliases) == 1:
-            admission.setdefault(next(iter(aliases)), []).append(fn)
+            alias = next(iter(aliases))
+            admission.setdefault(alias, []).append(fn)
+            admission_terms.setdefault(alias, []).append(term)
         else:
             cross.append(fn)
-    return CompiledGuard(admission, cross, Env(functions=ctx.functions))
+    return CompiledGuard(
+        admission, cross, Env(functions=ctx.functions), admission_terms
+    )

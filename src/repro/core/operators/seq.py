@@ -217,6 +217,9 @@ class SeqOperator:
         for index, arg in enumerate(self.args):
             self._positions.setdefault(arg.stream.lower(), []).append(index)
         compiled_exec = bool(getattr(engine, "compile_expressions", False))
+        vector_exec = compiled_exec and bool(
+            getattr(engine, "vectorized_admission", False)
+        )
         for stream_name in list(self._positions):
             stream = engine.streams.get(stream_name)
             positions = self._positions[stream_name]
@@ -228,6 +231,18 @@ class SeqOperator:
                 and len(positions) == 1
             ):
                 callback = self._dispatch_for(stream.name, positions[0])
+                if vector_exec and self._admission is not None:
+                    # Columnar ingestion hook: the guard's single-alias
+                    # conjuncts for this argument, lowered over column
+                    # arrays.  Rows the mask rejects are exactly rows
+                    # admission would drop, so the stream may skip
+                    # materializing them; survivors are re-checked by the
+                    # scalar admission call in the dispatch closure.
+                    hook = self.guard.vector_admission(
+                        self.args[positions[0]].alias, stream.schema
+                    )
+                    if hook is not None:
+                        callback.vector_admission = hook
             self._unsubscribes.append(stream.subscribe(callback))
 
     # -- public ----------------------------------------------------------

@@ -30,6 +30,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from .aggregates import Aggregate, AggregateRegistry
 from .clock import VirtualClock
+from .columns import ColumnBatch
 from .errors import EslSemanticError
 from .functions import default_functions
 from .schema import Schema
@@ -160,10 +161,22 @@ class Engine:
     :mod:`repro.core.operators.seq`); when False it uses the reference
     enumeration and the amortized all-partition sweep.  Both paths emit
     identical match sequences.
+
+    ``vectorized_admission`` selects the columnar ingestion strategy for
+    :class:`~repro.dsms.columns.ColumnBatch` pushes: when True (the
+    default) admission predicates are evaluated over whole column arrays
+    (:func:`~repro.dsms.expressions.compile_vector`) and Tuple objects are
+    materialized only for rows some subscriber may admit; when False every
+    batch row is materialized and checked one tuple at a time — the scalar
+    differential reference.  Row-at-a-time pushes are unaffected either
+    way, and both paths emit byte-identical outputs.
     """
 
     def __init__(
-        self, compile_expressions: bool = True, indexed_state: bool = True
+        self,
+        compile_expressions: bool = True,
+        indexed_state: bool = True,
+        vectorized_admission: bool = True,
     ) -> None:
         self.clock = VirtualClock()
         self.streams = StreamRegistry()
@@ -174,6 +187,7 @@ class Engine:
         self.histories: dict[str, Any] = {}  # stream -> SnapshotView
         self.compile_expressions = compile_expressions
         self.indexed_state = indexed_state
+        self.vectorized_admission = vectorized_admission
         self._query_counter = 0
 
     # -- catalog --------------------------------------------------------
@@ -256,7 +270,12 @@ class Engine:
         delivered, so EXCEPTION_SEQ active expiration sees the identical
         interleaving — but the stream lookup happens once and clock
         advancement skips the timer loop whenever nothing is due.
+
+        *batch* may also be a :class:`~repro.dsms.columns.ColumnBatch`,
+        which routes through :meth:`push_columns`.
         """
+        if isinstance(batch, ColumnBatch):
+            return self.push_columns(stream_name, batch)
         stream = self.streams.get(stream_name)
         advance = self.clock.advance_if_due
         ingest = stream.batch_ingester()
@@ -266,6 +285,21 @@ class Engine:
             ingest(values, ts)
             count += 1
         return count
+
+    def push_columns(self, stream_name: str, batch: ColumnBatch) -> int:
+        """Push a :class:`~repro.dsms.columns.ColumnBatch` to one stream.
+
+        Output-identical to :meth:`push_batch` over the batch's rows (the
+        clock advances to every row's timestamp in order, firing due
+        timers before that row is delivered), but with
+        ``vectorized_admission`` enabled the subscribers' admission
+        predicates run once per column batch and only surviving rows are
+        materialized into Tuples.
+        """
+        stream = self.streams.get(stream_name)
+        return stream.push_columns(
+            batch, self.clock.advance_if_due, self.vectorized_admission
+        )
 
     def run_trace(
         self, trace: Iterable[tuple[str, Mapping[str, Any] | Sequence[Any], float]]
@@ -277,12 +311,21 @@ class Engine:
         semantics match :meth:`push` exactly (timers first, then the
         tuple); stream handles are cached and the clock fast-path skips
         the timer loop when no deadline is due.
+
+        Two-element items ``(stream, ColumnBatch)`` are accepted
+        alongside scalar records and route through :meth:`push_columns`,
+        so a trace may interleave columnar and row-at-a-time sections.
         """
         ingesters: dict[str, Callable[[Any, float], Tuple]] = {}
         get = self.streams.get
         advance = self.clock.advance_if_due
         count = 0
-        for stream_name, values, ts in trace:
+        for record in trace:
+            if len(record) == 2:
+                stream_name, batch = record
+                count += self.push_columns(stream_name, batch)
+                continue
+            stream_name, values, ts = record
             ingest = ingesters.get(stream_name)
             if ingest is None:
                 ingest = ingesters[stream_name] = get(stream_name).batch_ingester()

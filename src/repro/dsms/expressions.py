@@ -1038,3 +1038,434 @@ def conjoin(terms: Sequence[Expression]) -> Expression:
     if len(terms) == 1:
         return terms[0]
     return And(*terms)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized lowering (column-batch admission)
+# ---------------------------------------------------------------------------
+#
+# A second lowering tier over the same expression IR: where ``compile()``
+# produces ``Env -> value`` closures evaluated once per tuple,
+# ``compile_vector()`` produces ``(columns, timestamps, n) -> list`` closures
+# evaluated once per :class:`~repro.dsms.columns.ColumnBatch`, returning the
+# per-row Kleene values (True/False/None, or arbitrary values for arithmetic
+# sub-expressions).  The admission paths turn those values into a
+# materialization mask, so a 512-row batch costs a handful of list
+# comprehensions instead of 512 Env constructions.
+#
+# Only *pure, time-independent, single-alias* expressions lower: literals,
+# column/timestamp references against the target schema, comparisons,
+# arithmetic, Kleene AND/OR/NOT, IS NULL, BETWEEN, IN over constant option
+# lists, and LIKE with a constant pattern.  Function calls (UDFs may be
+# stateful or re-registered), CASE, and subquery probes (state-dependent:
+# re-evaluation order matters) return None — the caller keeps the scalar
+# path for those.  Purity is what makes whole-batch evaluation safe: every
+# consumer re-checks survivors with the scalar predicate, so a vector mask
+# only has to promise it never *drops* a row the scalar path would admit.
+# On that contract, a closure that raises mid-batch is simply abandoned
+# (the caller falls back to delivering every row) and per-row error
+# semantics — lenient admission, errors surfacing at the offending tuple —
+# are preserved exactly by the scalar re-check.
+
+#: ``(columns, timestamps, n) -> [value, ...]`` — one value per batch row.
+VectorFn = Callable[[Sequence[Sequence[Any]], Sequence[float], int], list]
+
+
+class _VConst:
+    """Constant-folding marker for the vector tier (mirrors _ConstFn)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+def _vector_rows(item: Any, cols: Any, tss: Any, n: int) -> list:
+    """Materialize an operand as a per-row list, broadcasting constants."""
+    if type(item) is _VConst:
+        return [item.value] * n
+    return item(cols, tss, n)
+
+
+def _lower_vector(  # noqa: PLR0911, PLR0912 - one dispatch, many node kinds
+    expr: Expression, schema: Schema, alias: str | None
+) -> Any:
+    """Lower *expr* to a :data:`VectorFn` or :class:`_VConst`, else None.
+
+    *alias* is the lower-cased binding name of the target stream's tuple;
+    bare column references (no alias) also resolve against *schema*, which
+    is correct in the single-binding admission/filter contexts this tier
+    serves.
+    """
+    kind = type(expr)
+    if kind is Literal:
+        return _VConst(expr.value)
+    if kind is Column:
+        ref_alias = expr.alias.lower() if expr.alias is not None else None
+        if ref_alias is not None and ref_alias != alias:
+            return None
+        if expr.field not in schema:
+            return None
+        position = schema.position(expr.field)
+
+        def column(cols: Any, tss: Any, n: int, _pos: int = position) -> list:
+            return cols[_pos]
+
+        return column
+    if kind is TimestampRef:
+        if expr.alias.lower() != alias:
+            return None
+
+        def timestamp(cols: Any, tss: Any, n: int) -> list:
+            return tss if type(tss) is list else list(tss)
+
+        return timestamp
+    if kind is BinaryOp:
+        left = _lower_vector(expr.left, schema, alias)
+        if left is None:
+            return None
+        right = _lower_vector(expr.right, schema, alias)
+        if right is None:
+            return None
+        op = expr.op
+        cmp_base = _CMP_FUNCS.get(op)
+        if type(left) is _VConst and type(right) is _VConst:
+            try:
+                if cmp_base is not None:
+                    return _VConst(_compare(op, left.value, right.value))
+                return _VConst(_arith(op, left.value, right.value))
+            except EslRuntimeError:
+                return None  # defer the error to the scalar path
+        if cmp_base is not None:
+            if type(right) is _VConst:
+                rv = right.value
+                if rv is None:
+                    return _VConst(None)
+
+                def compare_vc(cols: Any, tss: Any, n: int) -> list:
+                    return [
+                        None if v is None else cmp_base(v, rv)
+                        for v in left(cols, tss, n)
+                    ]
+
+                return compare_vc
+            if type(left) is _VConst:
+                lv = left.value
+                if lv is None:
+                    return _VConst(None)
+
+                def compare_cv(cols: Any, tss: Any, n: int) -> list:
+                    return [
+                        None if v is None else cmp_base(lv, v)
+                        for v in right(cols, tss, n)
+                    ]
+
+                return compare_cv
+
+            def compare_vv(cols: Any, tss: Any, n: int) -> list:
+                return [
+                    None if a is None or b is None else cmp_base(a, b)
+                    for a, b in zip(left(cols, tss, n), right(cols, tss, n))
+                ]
+
+            return compare_vv
+        arith_base = _ARITH_FUNCS.get(op)
+        if arith_base is not None:
+            if type(right) is _VConst:
+                rv = right.value
+                if rv is None:
+                    return _VConst(None)
+
+                def arith_vc(cols: Any, tss: Any, n: int) -> list:
+                    return [
+                        None if v is None else arith_base(v, rv)
+                        for v in left(cols, tss, n)
+                    ]
+
+                return arith_vc
+
+            def arith_gen(cols: Any, tss: Any, n: int) -> list:
+                lvs = _vector_rows(left, cols, tss, n)
+                rvs = _vector_rows(right, cols, tss, n)
+                return [
+                    None if a is None or b is None else arith_base(a, b)
+                    for a, b in zip(lvs, rvs)
+                ]
+
+            return arith_gen
+
+        def arith_slow(cols: Any, tss: Any, n: int) -> list:
+            # Division/modulo (zero -> NULL) and || keep the shared helper.
+            lvs = _vector_rows(left, cols, tss, n)
+            rvs = _vector_rows(right, cols, tss, n)
+            return [_arith(op, a, b) for a, b in zip(lvs, rvs)]
+
+        return arith_slow
+    if kind is And or kind is Or:
+        items = []
+        for operand in expr.operands:
+            item = _lower_vector(operand, schema, alias)
+            if item is None:
+                return None
+            items.append(item)
+        if all(type(item) is _VConst for item in items):
+            values = [item.value for item in items]
+            if kind is And:
+                if any(value is False for value in values):
+                    return _VConst(False)
+                return _VConst(
+                    None if any(value is None for value in values) else True
+                )
+            if any(value is True for value in values):
+                return _VConst(True)
+            return _VConst(
+                None if any(value is None for value in values) else False
+            )
+        if kind is And:
+            return _vector_conjunction(items)
+        return _vector_disjunction(items)
+    if kind is Not:
+        item = _lower_vector(expr.operand, schema, alias)
+        if item is None:
+            return None
+        if type(item) is _VConst:
+            value = item.value
+            return _VConst(None if value is None else not value)
+
+        def negation(cols: Any, tss: Any, n: int) -> list:
+            return [
+                None if v is None else not v for v in item(cols, tss, n)
+            ]
+
+        return negation
+    if kind is Negate:
+        item = _lower_vector(expr.operand, schema, alias)
+        if item is None:
+            return None
+        if type(item) is _VConst:
+            try:
+                value = item.value
+                return _VConst(None if value is None else -value)
+            except TypeError:
+                return None  # defer the error to the scalar path
+
+        def negate(cols: Any, tss: Any, n: int) -> list:
+            return [None if v is None else -v for v in item(cols, tss, n)]
+
+        return negate
+    if kind is IsNull:
+        item = _lower_vector(expr.operand, schema, alias)
+        if item is None:
+            return None
+        invert = expr.negate
+        if type(item) is _VConst:
+            result = item.value is None
+            return _VConst(not result if invert else result)
+        if invert:
+            return lambda cols, tss, n: [
+                v is not None for v in item(cols, tss, n)
+            ]
+        return lambda cols, tss, n: [v is None for v in item(cols, tss, n)]
+    if kind is Between:
+        operand = _lower_vector(expr.operand, schema, alias)
+        low = _lower_vector(expr.low, schema, alias)
+        high = _lower_vector(expr.high, schema, alias)
+        if operand is None or low is None or high is None:
+            return None
+        invert = expr.negate
+
+        def between(cols: Any, tss: Any, n: int) -> list:
+            vals = _vector_rows(operand, cols, tss, n)
+            lows = _vector_rows(low, cols, tss, n)
+            highs = _vector_rows(high, cols, tss, n)
+            out = []
+            append = out.append
+            for v, lo, hi in zip(vals, lows, highs):
+                if v is None or lo is None or hi is None:
+                    append(None)
+                else:
+                    result = lo <= v <= hi
+                    append(not result if invert else result)
+            return out
+
+        return between
+    if kind is InList:
+        operand = _lower_vector(expr.operand, schema, alias)
+        if operand is None:
+            return None
+        options = []
+        for option in expr.options:
+            item = _lower_vector(option, schema, alias)
+            if type(item) is not _VConst:
+                return None  # dynamic options keep the scalar path
+            options.append(item.value)
+        saw_null = any(option is None for option in options)
+        # A tuple scan uses == exactly like the scalar candidate loop.
+        table = tuple(option for option in options if option is not None)
+        invert = expr.negate
+        if type(operand) is _VConst:
+            value = operand.value
+            if value is None:
+                return _VConst(None)
+            if value in table:
+                return _VConst(False if invert else True)
+            return _VConst(None if saw_null else invert)
+
+        def membership(cols: Any, tss: Any, n: int) -> list:
+            out = []
+            append = out.append
+            for v in operand(cols, tss, n):
+                if v is None:
+                    append(None)
+                elif v in table:
+                    append(False if invert else True)
+                else:
+                    append(None if saw_null else invert)
+            return out
+
+        return membership
+    if kind is Like:
+        operand = _lower_vector(expr.operand, schema, alias)
+        if operand is None:
+            return None
+        pattern = _lower_vector(expr.pattern, schema, alias)
+        if type(pattern) is not _VConst or pattern.value is None:
+            return None  # dynamic patterns keep the scalar regex cache
+        match = Like._regex(pattern.value).match
+        invert = expr.negate
+        if type(operand) is _VConst:
+            value = operand.value
+            if value is None:
+                return _VConst(None)
+            result = match(str(value)) is not None
+            return _VConst(not result if invert else result)
+
+        if invert:
+            return lambda cols, tss, n: [
+                None if v is None else match(str(v)) is None
+                for v in operand(cols, tss, n)
+            ]
+        return lambda cols, tss, n: [
+            None if v is None else match(str(v)) is not None
+            for v in operand(cols, tss, n)
+        ]
+    # FunctionCall, Case, SubqueryPredicate, and anything unknown: not
+    # vectorizable (side effects, state, or re-evaluation hazards).
+    return None
+
+
+def _vector_conjunction(items: list) -> VectorFn:
+    """Kleene AND over lowered operands with selection-mask short-circuit.
+
+    Operands are evaluated left to right over the still-undecided rows
+    only: a row decided False leaves the active set, and the remaining
+    operands see columns gathered down to the active rows.  Error
+    semantics match the scalar closure chain — operands run in order, so
+    an operand that raises does so before any later operand is consulted.
+    """
+
+    def conjunction(cols: Any, tss: Any, n: int) -> list:
+        result: list = [True] * n
+        active = range(n)
+        acols, atss = cols, tss
+        last = len(items) - 1
+        for index, item in enumerate(items):
+            if not active:
+                break
+            if type(item) is _VConst:
+                value = item.value
+                if value is None:
+                    for i in active:
+                        result[i] = None
+                elif value is False:
+                    for i in active:
+                        result[i] = False
+                    active = ()
+                continue
+            vals = item(acols, atss, len(active))
+            survivors = []
+            keep = survivors.append
+            for v, i in zip(vals, active):
+                if v is False:
+                    result[i] = False
+                else:
+                    if v is None:
+                        result[i] = None
+                    keep(i)
+            if index != last and len(survivors) != len(active):
+                active = survivors
+                acols = [[c[i] for i in active] for c in cols]
+                atss = [tss[i] for i in active]
+            elif len(survivors) != len(active):
+                active = survivors
+        return result
+
+    return conjunction
+
+
+def _vector_disjunction(items: list) -> VectorFn:
+    """Kleene OR, dual of :func:`_vector_conjunction` (True decides)."""
+
+    def disjunction(cols: Any, tss: Any, n: int) -> list:
+        result: list = [False] * n
+        active = range(n)
+        acols, atss = cols, tss
+        last = len(items) - 1
+        for index, item in enumerate(items):
+            if not active:
+                break
+            if type(item) is _VConst:
+                value = item.value
+                if value is None:
+                    for i in active:
+                        result[i] = None
+                elif value is True:
+                    for i in active:
+                        result[i] = True
+                    active = ()
+                continue
+            vals = item(acols, atss, len(active))
+            survivors = []
+            keep = survivors.append
+            for v, i in zip(vals, active):
+                if v is True:
+                    result[i] = True
+                else:
+                    if v is None:
+                        result[i] = None
+                    keep(i)
+            if index != last and len(survivors) != len(active):
+                active = survivors
+                acols = [[c[i] for i in active] for c in cols]
+                atss = [tss[i] for i in active]
+            elif len(survivors) != len(active):
+                active = survivors
+        return result
+
+    return disjunction
+
+
+def compile_vector(
+    expr: Expression, schema: Schema, alias: str | None = None
+) -> VectorFn | None:
+    """Lower *expr* to a whole-batch closure, or None if not vectorizable.
+
+    The closure maps ``(columns, timestamps, n)`` — the column arrays of a
+    :class:`~repro.dsms.columns.ColumnBatch` whose rows are bound to
+    *alias* (lower-cased; bare references also resolve against *schema*)
+    — to the per-row values :meth:`Expression.eval` would produce.  The
+    caller derives its admission mask from those values (``is not False``
+    for lenient guards, ``is True`` for WHERE clauses) and must treat any
+    exception as "mask unavailable", falling back to full materialization.
+    """
+    lowered = _lower_vector(expr, schema, alias.lower() if alias else None)
+    if lowered is None:
+        return None
+    if type(lowered) is _VConst:
+        value = lowered.value
+
+        def const(cols: Any, tss: Any, n: int) -> list:
+            return [value] * n
+
+        return const
+    return lowered

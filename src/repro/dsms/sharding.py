@@ -96,6 +96,7 @@ from collections import deque
 from collections.abc import Mapping as _MappingABC
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from .columns import ColumnBatch
 from .engine import Collector, Engine, QueryHandle
 from .errors import EslSemanticError, TransportError
 from .merge import RunCollector, StampedRow, StampedSink, merge_runs
@@ -147,7 +148,8 @@ class ShardSpec:
     """
 
     __slots__ = (
-        "ops", "sinks", "compile_expressions", "indexed_state", "stream_table"
+        "ops", "sinks", "compile_expressions", "indexed_state",
+        "vectorized_admission", "stream_table",
     )
 
     def __init__(
@@ -157,11 +159,13 @@ class ShardSpec:
         compile_expressions: bool,
         indexed_state: bool = True,
         stream_table: Sequence[tuple[str, Schema]] = (),
+        vectorized_admission: bool = True,
     ) -> None:
         self.ops = list(ops)
         self.sinks = list(sinks)
         self.compile_expressions = compile_expressions
         self.indexed_state = indexed_state
+        self.vectorized_admission = vectorized_admission
         self.stream_table = tuple(stream_table)
 
 
@@ -180,6 +184,7 @@ class _ShardRuntime:
         self.engine = Engine(
             compile_expressions=spec.compile_expressions,
             indexed_state=spec.indexed_state,
+            vectorized_admission=spec.vectorized_admission,
         )
         self.handles: dict[str, QueryHandle] = {}
         for op in spec.ops:
@@ -229,6 +234,22 @@ class _ShardRuntime:
             ).batch_ingester()
         ingest(values, ts)
         self._drain(g)
+
+    def ingest_columns(self, gs: Sequence[int], stream: str, batch: Any) -> None:
+        """Columnar ingestion: the batch stays packed until admission.
+
+        ``gs`` carries each row's global record index; draining after every
+        row (with that row's ``g``) reproduces the exact merge stamps the
+        per-record :meth:`ingest` path would assign.
+        """
+        strm = self.engine.streams.get(stream)
+        drain = self._drain
+        strm.push_columns(
+            batch,
+            self._advance_if_due,
+            self.engine.vectorized_admission,
+            on_row=lambda index: drain(gs[index]),
+        )
 
     def advance(self, g: int, ts: float) -> None:
         """Clock broadcast: fire timers due at or before *ts*.
@@ -689,6 +710,48 @@ class _PipeExecutor:
         self._note(g, ts)
         self._guard(self._dispatch_all, (g, ts))
 
+    def _route_columns(
+        self,
+        entries: Sequence[tuple[int, Sequence[int], str, Any]],
+        advance_to: tuple[int, float] | None,
+    ) -> None:
+        touched = set()
+        for shard, gs, stream, batch in entries:
+            client = self._clients[shard]
+            records = self._buffers[shard]
+            if records:
+                # Row-buffered records precede this batch in global order;
+                # flush them first so the worker applies them first.
+                self._buffers[shard] = []
+                client.send_batch(records, None)
+            client.send_column_batch([(stream, gs, batch)], advance_to)
+            batcher = self._batchers[shard]
+            for rtt_s, n_records in client.take_rtt_samples():
+                batcher.observe(rtt_s, n_records)
+            touched.add(shard)
+        if advance_to is None:
+            return
+        for shard, client in enumerate(self._clients):
+            if shard in touched:
+                continue
+            if client.last_sent_ts is None or advance_to[1] > client.last_sent_ts:
+                client.send_advance(advance_to[0], advance_to[1])
+
+    def route_columns(
+        self,
+        entries: Sequence[tuple[int, Sequence[int], str, Any]],
+        advance_to: tuple[int, float] | None,
+    ) -> None:
+        """Hand pre-split column batches to their shards, still packed.
+
+        ``entries`` is ``[(shard, gs, stream, ColumnBatch)]``; untouched
+        shards get a clock heartbeat so timers expire at the same epoch
+        boundary as the row path.
+        """
+        if advance_to is not None:
+            self._note(advance_to[0], advance_to[1])
+        self._guard(self._route_columns, entries, advance_to)
+
     def _flush_all(self, g: int) -> None:
         self._dispatch_all(None)
         for client in self._clients:
@@ -868,6 +931,10 @@ class ShardedEngine:
         compile_expressions: forwarded to every inner Engine.
         indexed_state: forwarded to every inner Engine (sequence-operator
             state indexing; see :class:`~repro.dsms.engine.Engine`).
+        vectorized_admission: forwarded to every inner Engine — columnar
+            batches handed over via :meth:`push_columns` evaluate
+            admission masks over whole columns and materialize survivors
+            only (see :class:`~repro.dsms.engine.Engine`).
         batch_size: records buffered per shard before a parallel hand-off
             (the adaptive controller's starting point under ``parallel``).
         codec: pipe-transport payload encoding, ``'framed'`` (columnar
@@ -891,6 +958,7 @@ class ShardedEngine:
         shard_by: Mapping[str, str] | None = None,
         compile_expressions: bool = True,
         indexed_state: bool = True,
+        vectorized_admission: bool = True,
         batch_size: int = 2048,
         codec: str = "framed",
         start_method: str | None = None,
@@ -919,13 +987,16 @@ class ShardedEngine:
         self.measure_bytes = measure_bytes
         self.compile_expressions = compile_expressions
         self.indexed_state = indexed_state
+        self.vectorized_admission = vectorized_admission
         self.shard_by = {
             name.lower(): field.lower() for name, field in (shard_by or {}).items()
         }
         # The catalog engine holds schemas and compiled query metadata for
         # routing decisions; it never receives data.
         self.catalog = Engine(
-            compile_expressions=compile_expressions, indexed_state=indexed_state
+            compile_expressions=compile_expressions,
+            indexed_state=indexed_state,
+            vectorized_admission=vectorized_admission,
         )
         self._ops: list[tuple] = []
         self._sink_specs: list[tuple[str, str, str]] = []  # (sink_id, kind, target)
@@ -1201,7 +1272,7 @@ class ShardedEngine:
         )
         spec = ShardSpec(
             self._ops, sinks, self.compile_expressions, self.indexed_state,
-            stream_table,
+            stream_table, self.vectorized_admission,
         )
         if self.executor_kind == "serial":
             self._executor = _SerialExecutor(spec, self.n_shards)
@@ -1284,12 +1355,87 @@ class ShardedEngine:
         else:
             self._executor.broadcast_one(g, route.stream, values, ts)
 
+    def push_columns(self, stream_name: str, batch: ColumnBatch) -> int:
+        """Route a whole :class:`~repro.dsms.columns.ColumnBatch`.
+
+        Under the parallel (pipe) executor the batch is key-split into
+        per-shard sub-batches that stay columnar across the wire and all
+        the way into shard admission (survivor-only materialization);
+        executors without a columnar path fall back to per-row
+        :meth:`push`, which is record-for-record equivalent.
+        """
+        self._freeze()
+        route = self._routes.get(stream_name.lower())
+        if route is None:
+            self.catalog.streams.get(stream_name)  # raises UnknownStreamError
+            raise AssertionError("unreachable")  # pragma: no cover
+        schema = self.catalog.streams.get(stream_name).schema
+        if batch.schema is not schema and batch.schema != schema:
+            raise EslSemanticError(
+                f"column batch schema {batch.schema!r} does not match stream "
+                f"{stream_name!r} schema {schema!r}"
+            )
+        n = len(batch)
+        if not n:
+            return 0
+        executor = self._executor
+        route_columns = getattr(executor, "route_columns", None)
+        if route_columns is None:
+            # Reference executors (serial/futures) interleave shards per
+            # record; replay the batch row by row for exact stamps.
+            push = self.push
+            for values, ts in batch.rows():
+                push(stream_name, values, ts)
+            return n
+        g0 = self._g
+        self._g = g0 + n
+        tss = batch.timestamps
+        ts_max = max(tss)
+        if self._max_ts is None or ts_max > self._max_ts:
+            self._max_ts = ts_max
+        advance_to = (self._g - 1, self._max_ts)
+        if route.policy == "hash":
+            if route.key_fn is None:
+                raise EslSemanticError(
+                    f"stream {route.stream!r} is partitioned by its producing "
+                    "query but carries no known shard key; it can be collected "
+                    "but not pushed to"
+                )
+            position = next(
+                index
+                for index, name in enumerate(schema.names)
+                if name.lower() == route.field
+            )
+            key_column = batch.columns[position]
+            n_shards = self.n_shards
+            buckets: dict[int, list[int]] = {}
+            for i in range(n):
+                buckets.setdefault(shard_of(key_column[i], n_shards), []).append(i)
+            entries = []
+            for shard in sorted(buckets):
+                indices = buckets[shard]
+                sub = batch if len(indices) == n else batch.select(indices)
+                entries.append((shard, [g0 + i for i in indices], route.stream, sub))
+        else:
+            gs = list(range(g0, g0 + n))
+            entries = [
+                (shard, gs, route.stream, batch)
+                for shard in range(self.n_shards)
+            ]
+        route_columns(entries, advance_to)
+        return n
+
     def push_batch(
         self,
         stream_name: str,
-        batch: Iterable[tuple[Mapping[str, Any] | Sequence[Any], float]],
+        batch: (
+            Iterable[tuple[Mapping[str, Any] | Sequence[Any], float]] | ColumnBatch
+        ),
     ) -> int:
-        """Route many ``(values, ts)`` records to one stream."""
+        """Route many ``(values, ts)`` records — or a ColumnBatch — to one
+        stream."""
+        if isinstance(batch, ColumnBatch):
+            return self.push_columns(stream_name, batch)
         push = self.push
         count = 0
         for values, ts in batch:
@@ -1300,10 +1446,16 @@ class ShardedEngine:
     def run_trace(
         self, trace: Iterable[tuple[str, Mapping[str, Any] | Sequence[Any], float]]
     ) -> int:
-        """Route a whole ``(stream, values, ts)`` trace in order."""
+        """Route a whole trace in order: ``(stream, values, ts)`` records
+        and ``(stream, ColumnBatch)`` entries may be interleaved."""
         push = self.push
         count = 0
-        for stream_name, values, ts in trace:
+        for record in trace:
+            if len(record) == 2:
+                stream_name, batch = record
+                count += self.push_columns(stream_name, batch)
+                continue
+            stream_name, values, ts = record
             push(stream_name, values, ts)
             count += 1
         return count

@@ -20,6 +20,7 @@ import itertools
 from collections.abc import Mapping as _MappingABC
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+from .columns import ColumnBatch
 from .errors import OutOfOrderError, SchemaError, UnknownStreamError
 from .schema import Schema
 from .tuples import Tuple
@@ -186,7 +187,11 @@ class Stream:
         schema = self.schema
         names = schema.names
         n_cols = len(schema)
-        covers = schema.covers
+        # The schema/column-index lookups are resolved here, once per
+        # stream, not per row: the field-name set for mapping validation
+        # (inlined ``covers`` — a keys-view <= frozenset compare with no
+        # method call) and the name tuple driving positional extraction.
+        field_set = frozenset(names)
         name = self.name
         sequencer = self._sequencer
         subscribers = self._subscribers
@@ -196,8 +201,12 @@ class Stream:
 
         def ingest(values: Any, ts: float) -> Tuple:
             if type(values) is dict or isinstance(values, _MappingABC):
-                if not covers(values.keys()):
-                    extra = set(values) - set(names)
+                try:
+                    known = values.keys() <= field_set
+                except TypeError:
+                    known = all(key in field_set for key in values.keys())
+                if not known:
+                    extra = set(values) - field_set
                     raise SchemaError(
                         f"unknown fields {sorted(extra)} for {schema!r}"
                     )
@@ -238,6 +247,121 @@ class Stream:
 
         self._ingester = ingest
         return ingest
+
+    # -- columnar ingestion ---------------------------------------------
+
+    def column_mask(self, batch: "ColumnBatch") -> list | None:
+        """The batch's materialization mask, or None to materialize all.
+
+        Each subscriber callback may expose a ``vector_admission``
+        attribute — a ``(columns, timestamps, n) -> [bool] | None``
+        closure promising that rows it masks False can never contribute
+        to that subscriber's output (it re-checks survivors itself).  The
+        stream materializes the union: a row any subscriber might admit
+        becomes a :class:`~repro.dsms.tuples.Tuple`.  If any subscriber
+        lacks the hook (generic operators, collectors, application
+        callbacks need every tuple) or a hook declines (returns None),
+        the whole batch materializes — the scalar-equivalent fallback.
+        """
+        fanout = self._fanout
+        if not fanout:
+            return None
+        cols = batch.columns
+        tss = batch.timestamps
+        n = len(batch)
+        combined: list | None = None
+        for callback in fanout:
+            hook = getattr(callback, "vector_admission", None)
+            if hook is None:
+                return None
+            mask = hook(cols, tss, n)
+            if mask is None:
+                return None
+            if combined is None:
+                combined = list(mask)
+            else:
+                for index, admit in enumerate(mask):
+                    if admit:
+                        combined[index] = True
+        return combined
+
+    def push_columns(
+        self,
+        batch: "ColumnBatch",
+        advance: Callable[[float], Any] | None = None,
+        vectorized: bool = True,
+        on_row: Callable[[int], Any] | None = None,
+    ) -> int:
+        """Deliver a :class:`~repro.dsms.columns.ColumnBatch`.
+
+        Semantically identical to pushing the batch's rows one at a time
+        (*advance* — normally the engine clock's ``advance_if_due`` — is
+        called with every row's timestamp before that row is delivered,
+        preserving the timer-before-tuple discipline, and dropped rows
+        still advance the clock), but when *vectorized* is true the
+        subscriber admission masks are evaluated over whole columns and
+        only surviving rows are materialized into Tuples.  Bookkeeping
+        (``count``, ``last_ts``) covers every row, survivor or not.
+        *on_row* is called with each row's index after that row completes
+        (the sharded runtime drains per-row merge stamps through it).
+        Returns the number of rows accepted.
+        """
+        schema = self.schema
+        if batch.schema is not schema and batch.schema != schema:
+            raise SchemaError(
+                f"column batch schema {batch.schema!r} does not match stream "
+                f"{self.name!r} schema {schema!r}"
+            )
+        n = len(batch)
+        if not n:
+            return 0
+        if self._allow_ooo:
+            # Reorder-buffered streams deliver through the heap; the
+            # vectorized mask cannot apply before order is restored.
+            ingest = self.batch_ingester()
+            for i, (values, ts) in enumerate(batch.rows()):
+                if advance is not None:
+                    advance(ts)
+                ingest(values, ts)
+                if on_row is not None:
+                    on_row(i)
+            return n
+        mask = self.column_mask(batch) if vectorized else None
+        cols = batch.columns
+        tss = batch.timestamps
+        name = self.name
+        sequencer = self._sequencer
+        new = Tuple.__new__
+        for i in range(n):
+            ts = tss[i]
+            if advance is not None:
+                advance(ts)
+            last = self.last_ts
+            if last is not None and ts < last:
+                raise OutOfOrderError(
+                    f"stream {name!r}: tuple at ts={ts:g} after ts={last:g}"
+                )
+            self.last_ts = ts
+            self.count += 1
+            if mask is None or mask[i]:
+                row = tuple(column[i] for column in cols)
+                if sequencer is None:
+                    tup = Tuple(schema, row, ts, name)
+                else:
+                    # Survivor-only materialization: same trusted-slot
+                    # construction as the scalar ingester (the batch's
+                    # schema match and float timestamps are established).
+                    tup = new(Tuple)
+                    tup.schema = schema
+                    tup.values = row
+                    tup.ts = ts
+                    tup.stream = name
+                    tup.seq = next(sequencer)
+                for callback in self._fanout:
+                    callback(tup)
+            if on_row is not None:
+                on_row(i)
+        return n
 
     def __repr__(self) -> str:
         return f"Stream({self.name!r}, {len(self.schema)} cols, {self.count} tuples)"

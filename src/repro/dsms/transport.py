@@ -45,7 +45,6 @@ on both sides of the pipe — is kept per shard and surfaced through
 
 from __future__ import annotations
 
-import pickle
 import struct
 import threading
 import time
@@ -55,6 +54,14 @@ from collections import deque
 from collections.abc import Mapping as _MappingABC
 from typing import Any, Callable, Mapping, Sequence
 
+from .columns import (
+    ColumnBatch,
+    dumps_oob,
+    loads_oob,
+    pack_column as _pack_column,
+    schema_hints as _schema_hints,
+    unpack_column as _unpack_column,
+)
 from .errors import FrameCodecError, SchemaError, TransportError
 from .merge import StampedRow
 
@@ -74,10 +81,11 @@ FT_CALL = 6
 FT_REPLY = 7
 FT_STOP = 8
 FT_ERROR = 9
+FT_COLBATCH = 10
 
 _FRAME_TYPES = frozenset(
     (FT_HELLO, FT_BATCH, FT_ADVANCE, FT_FLUSH, FT_OUTPUT, FT_CALL, FT_REPLY,
-     FT_STOP, FT_ERROR)
+     FT_STOP, FT_ERROR, FT_COLBATCH)
 )
 
 
@@ -115,243 +123,6 @@ def decode_frame(data: bytes) -> tuple[int, memoryview]:
     return ftype, payload
 
 
-# ---------------------------------------------------------------------------
-# Pickle protocol 5 with out-of-band buffers
-# ---------------------------------------------------------------------------
-
-
-def dumps_oob(obj: Any) -> bytes:
-    """Pickle with protocol 5, packing out-of-band buffers after the body.
-
-    Layout: ``u32 pickle_len, pickle, u32 n_buffers, (u32 len, bytes)*``.
-    For plain Python payloads no buffers are produced and this is one
-    protocol-5 pickle with an 8-byte frame; buffer-protocol values
-    (bytes/bytearray/memoryview/arrays) ride out-of-band without a copy
-    into the pickle stream.
-    """
-    buffers: list[pickle.PickleBuffer] = []
-    body = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
-    parts = [struct.pack("<I", len(body)), body, struct.pack("<I", len(buffers))]
-    for buffer in buffers:
-        raw = buffer.raw()
-        parts.append(struct.pack("<I", len(raw)))
-        parts.append(raw.tobytes() if not isinstance(raw, bytes) else raw)
-    return b"".join(parts)
-
-
-def loads_oob(view: memoryview | bytes, offset: int = 0) -> tuple[Any, int]:
-    """Inverse of :func:`dumps_oob`; returns ``(object, next_offset)``."""
-    view = memoryview(view)
-    try:
-        (body_len,) = struct.unpack_from("<I", view, offset)
-        offset += 4
-        body = view[offset:offset + body_len]
-        if len(body) != body_len:
-            raise FrameCodecError("truncated pickle body in frame")
-        offset += body_len
-        (n_buffers,) = struct.unpack_from("<I", view, offset)
-        offset += 4
-        buffers = []
-        for _ in range(n_buffers):
-            (buf_len,) = struct.unpack_from("<I", view, offset)
-            offset += 4
-            buffers.append(view[offset:offset + buf_len])
-            offset += buf_len
-        return pickle.loads(body, buffers=buffers), offset
-    except (struct.error, pickle.UnpicklingError, EOFError, ValueError) as exc:
-        raise FrameCodecError(f"corrupt pickle section: {exc}") from exc
-
-
-# ---------------------------------------------------------------------------
-# Columnar value packing
-# ---------------------------------------------------------------------------
-
-_TAG_PICKLE = 0
-_TAG_I64 = 1
-_TAG_F64 = 2
-_TAG_BOOL = 3
-_TAG_STR = 4
-
-_I64_MIN = -(1 << 63)
-_I64_MAX = (1 << 63) - 1
-
-
-def _column_tag(values: Sequence, hint: int | None) -> int:
-    """Pick the densest tag every non-None value satisfies.
-
-    The schema's declared type (*hint*) is tried first — the common case
-    is one type sweep that confirms it — and the remaining tags are
-    probed only when the schema said ``any`` or the data disagrees (e.g.
-    ints in a float column, which must round-trip as ints, not doubles).
-    """
-    candidates = [hint] if hint is not None else []
-    candidates += [_TAG_F64, _TAG_I64, _TAG_STR, _TAG_BOOL]
-    for tag in candidates:
-        if tag == _TAG_I64:
-            if all(
-                value is None
-                or (type(value) is int and _I64_MIN <= value <= _I64_MAX)
-                for value in values
-            ):
-                return tag
-        elif tag == _TAG_F64:
-            if all(value is None or type(value) is float for value in values):
-                return tag
-        elif tag == _TAG_STR:
-            if all(value is None or type(value) is str for value in values):
-                return tag
-        elif tag == _TAG_BOOL:
-            if all(value is None or type(value) is bool for value in values):
-                return tag
-    return _TAG_PICKLE
-
-
-def _pack_column(values: Sequence, hint: int | None, out: list[bytes]) -> None:
-    n = len(values)
-    # Fast paths first: a None-free column whose every value exactly
-    # matches the hinted type packs with two C-speed sweeps (type check,
-    # struct.pack) and no bitmap.  Everything else funnels through the
-    # general tag probe.
-    if hint == _TAG_F64 and all(type(v) is float for v in values):
-        out.append(_PACKED_F64)
-        out.append(struct.pack(f"<{n}d", *values))
-        return
-    if hint == _TAG_STR and all(type(v) is str for v in values):
-        out.append(_PACKED_STR)
-        blob = "\x00".join(values).encode("utf-8", "surrogatepass")
-        if len(values) == blob.count(b"\x00") + 1:
-            # No embedded NULs: ship one separator-joined blob instead of
-            # n length prefixes.
-            out.append(struct.pack("<BI", 1, len(blob)))
-            out.append(blob)
-        else:
-            blobs = [v.encode("utf-8", "surrogatepass") for v in values]
-            out.append(struct.pack("<B", 0))
-            out.append(struct.pack(f"<{n}I", *map(len, blobs)))
-            out.append(b"".join(blobs))
-        return
-    if hint == _TAG_I64 and all(
-        type(v) is int and _I64_MIN <= v <= _I64_MAX for v in values
-    ):
-        out.append(_PACKED_I64)
-        out.append(struct.pack(f"<{n}q", *values))
-        return
-    tag = _column_tag(values, hint)
-    if tag == _TAG_PICKLE:
-        out.append(struct.pack("<B", _TAG_PICKLE))
-        out.append(dumps_oob(list(values)))
-        return
-    has_none = None in values
-    out.append(struct.pack("<BB", tag, int(has_none)))
-    if has_none:
-        bitmap = bytearray((n + 7) // 8)
-        for index, value in enumerate(values):
-            if value is None:
-                bitmap[index >> 3] |= 1 << (index & 7)
-        out.append(bytes(bitmap))
-    if tag == _TAG_I64:
-        out.append(struct.pack(
-            f"<{n}q", *(0 if value is None else value for value in values)
-        ))
-    elif tag == _TAG_F64:
-        out.append(struct.pack(
-            f"<{n}d", *(0.0 if value is None else value for value in values)
-        ))
-    elif tag == _TAG_BOOL:
-        out.append(bytes(
-            0 if value is None else int(value) for value in values
-        ))
-    else:  # _TAG_STR
-        blobs = [
-            b"" if value is None
-            else value.encode("utf-8", "surrogatepass")
-            for value in values
-        ]
-        out.append(struct.pack("<B", 0))
-        out.append(struct.pack(f"<{n}I", *map(len, blobs)))
-        out.append(b"".join(blobs))
-
-
-_PACKED_F64 = struct.pack("<BB", _TAG_F64, 0)
-_PACKED_I64 = struct.pack("<BB", _TAG_I64, 0)
-_PACKED_STR = struct.pack("<BB", _TAG_STR, 0)
-
-
-def _unpack_column(
-    view: memoryview, offset: int, n: int
-) -> tuple[list, int]:
-    (tag,) = struct.unpack_from("<B", view, offset)
-    offset += 1
-    if tag == _TAG_PICKLE:
-        values, offset = loads_oob(view, offset)
-        if not isinstance(values, list) or len(values) != n:
-            raise FrameCodecError("pickle column has wrong row count")
-        return values, offset
-    if tag not in (_TAG_I64, _TAG_F64, _TAG_BOOL, _TAG_STR):
-        raise FrameCodecError(f"unknown column tag {tag}")
-    (has_none,) = struct.unpack_from("<B", view, offset)
-    offset += 1
-    bitmap = None
-    if has_none:
-        bitmap = view[offset:offset + (n + 7) // 8]
-        offset += (n + 7) // 8
-    try:
-        if tag == _TAG_I64:
-            raw: Sequence = struct.unpack_from(f"<{n}q", view, offset)
-            offset += 8 * n
-        elif tag == _TAG_F64:
-            raw = struct.unpack_from(f"<{n}d", view, offset)
-            offset += 8 * n
-        elif tag == _TAG_BOOL:
-            raw = [bool(b) for b in bytes(view[offset:offset + n])]
-            if len(raw) != n:
-                raise FrameCodecError("truncated bool column")
-            offset += n
-        else:  # _TAG_STR
-            (joined,) = struct.unpack_from("<B", view, offset)
-            offset += 1
-            if joined:
-                (blob_len,) = struct.unpack_from("<I", view, offset)
-                offset += 4
-                blob = view[offset:offset + blob_len]
-                if len(blob) != blob_len:
-                    raise FrameCodecError("truncated string column")
-                offset += blob_len
-                raw = bytes(blob).decode("utf-8", "surrogatepass").split("\x00")
-                if len(raw) != n:
-                    raise FrameCodecError(
-                        "string column separator count mismatch"
-                    )
-            else:
-                lengths = struct.unpack_from(f"<{n}I", view, offset)
-                offset += 4 * n
-                total = sum(lengths)
-                blob = bytes(view[offset:offset + total])
-                if len(blob) != total:
-                    raise FrameCodecError("truncated string column")
-                offset += total
-                raw = []
-                position = 0
-                for length in lengths:
-                    raw.append(
-                        blob[position:position + length].decode(
-                            "utf-8", "surrogatepass"
-                        )
-                    )
-                    position += length
-    except struct.error as exc:
-        raise FrameCodecError(f"truncated column data: {exc}") from exc
-    if bitmap is None:
-        return list(raw), offset
-    values = list(raw)
-    for index in range(n):
-        if bitmap[index >> 3] & (1 << (index & 7)):
-            values[index] = None
-    return values, offset
-
-
-#: Schema wire-format hint -> preferred column tag (schema-driven packing).
-_TAG_BY_WIRE = {"q": _TAG_I64, "d": _TAG_F64, "B": _TAG_BOOL, "U": _TAG_STR}
 
 
 # ---------------------------------------------------------------------------
@@ -387,10 +158,7 @@ class FrameCodec:
             self._stream_ids[key] = len(self._stream_names)
             self._stream_names.append(key)
             self._schemas.append(schema)
-            self._hints.append(tuple(
-                _TAG_BY_WIRE.get(field.type.wire_format)
-                for field in schema.fields
-            ))
+            self._hints.append(_schema_hints(schema))
             self._names.append(schema.names)
         self._sink_ids: list[str] = [sink[0] for sink in spec.sinks]
         self._sink_index = {
@@ -528,6 +296,121 @@ class FrameCodec:
             ], advance_to
         except struct.error as exc:
             raise FrameCodecError(f"truncated batch frame: {exc}") from exc
+
+    # -- column batches (router -> worker, no explode/re-pack) ------------
+
+    def encode_column_batch(
+        self,
+        seq: int,
+        entries: list[tuple[str, Sequence[int], ColumnBatch]],
+        advance_to: tuple[int, float] | None,
+    ) -> bytes:
+        """Pack ``(stream, gs, ColumnBatch)`` groups into one COLBATCH frame.
+
+        Unlike :meth:`encode_batch`, the rows never exist as per-record
+        tuples on either side of the pipe: the router ships the batch's
+        column lists as-is and the worker rebuilds a :class:`ColumnBatch`
+        straight from the unpacked columns.
+        """
+        if self.codec == "pickle":
+            raw = [
+                (stream, tuple(gs), [list(c) for c in batch.columns],
+                 list(batch.timestamps))
+                for stream, gs, batch in entries
+            ]
+            payload = struct.pack("<Q", seq) + dumps_oob((raw, advance_to))
+            return encode_frame(FT_COLBATCH, payload)
+        parts: list[bytes] = [struct.pack("<Q", seq)]
+        if advance_to is None:
+            parts.append(struct.pack("<B", 0))
+        else:
+            parts.append(struct.pack("<BQd", 1, advance_to[0], advance_to[1]))
+        parts.append(struct.pack("<H", len(entries)))
+        for stream, gs, batch in entries:
+            stream_id = self._stream_ids.get(stream)
+            if stream_id is None:
+                raise FrameCodecError(
+                    f"stream {stream!r} is not in the transport's interned "
+                    "table; was it declared before the engine froze?"
+                )
+            schema = self._schemas[stream_id]
+            if batch.schema != schema:
+                raise SchemaError(
+                    f"column batch schema {batch.schema!r} does not match "
+                    f"stream {stream!r} schema {schema!r}"
+                )
+            n_rows = len(batch)
+            n_cols = len(batch.columns)
+            parts.append(struct.pack("<HIB", stream_id, n_rows, n_cols))
+            parts.append(struct.pack(f"<{n_rows}Q", *gs))
+            parts.append(struct.pack(f"<{n_rows}d", *batch.timestamps))
+            hints = self._hints[stream_id]
+            for col, column in enumerate(batch.columns):
+                _pack_column(column, hints[col], parts)
+        return encode_frame(FT_COLBATCH, b"".join(parts))
+
+    def decode_column_batch(
+        self, payload: memoryview
+    ) -> tuple[
+        int,
+        list[tuple[str, tuple[int, ...], ColumnBatch]],
+        tuple[int, float] | None,
+    ]:
+        try:
+            (seq,) = struct.unpack_from("<Q", payload, 0)
+            offset = 8
+            if self.codec == "pickle":
+                (raw, advance_to), _ = loads_oob(payload, offset)
+                entries = []
+                for stream, gs, columns, tss in raw:
+                    stream_id = self._stream_ids.get(stream)
+                    if stream_id is None:
+                        raise FrameCodecError(f"unknown stream {stream!r}")
+                    entries.append((
+                        stream, tuple(gs),
+                        ColumnBatch(self._schemas[stream_id], columns, tss),
+                    ))
+                return seq, entries, advance_to
+            (has_advance,) = struct.unpack_from("<B", payload, offset)
+            offset += 1
+            advance_to = None
+            if has_advance:
+                g_adv, ts_adv = struct.unpack_from("<Qd", payload, offset)
+                advance_to = (g_adv, ts_adv)
+                offset += 16
+            (n_entries,) = struct.unpack_from("<H", payload, offset)
+            offset += 2
+            entries = []
+            for _ in range(n_entries):
+                stream_id, n_rows, n_cols = struct.unpack_from(
+                    "<HIB", payload, offset
+                )
+                offset += 7
+                if stream_id >= len(self._stream_names):
+                    raise FrameCodecError(f"unknown stream id {stream_id}")
+                schema = self._schemas[stream_id]
+                if n_cols != len(schema):
+                    raise FrameCodecError(
+                        f"column batch for stream id {stream_id} has "
+                        f"{n_cols} columns for {len(schema)}-column schema"
+                    )
+                gs = struct.unpack_from(f"<{n_rows}Q", payload, offset)
+                offset += 8 * n_rows
+                tss = list(struct.unpack_from(f"<{n_rows}d", payload, offset))
+                offset += 8 * n_rows
+                columns = []
+                for _col in range(n_cols):
+                    column, offset = _unpack_column(payload, offset, n_rows)
+                    columns.append(column)
+                entries.append((
+                    self._stream_names[stream_id], gs,
+                    ColumnBatch(schema, columns, tss),
+                ))
+            return seq, entries, advance_to
+        except struct.error as exc:
+            raise FrameCodecError(
+                f"truncated column batch frame: {exc}"
+            ) from exc
 
     # -- small control frames --------------------------------------------
 
@@ -744,6 +627,13 @@ def shard_worker_main(
                 ingest = runtime.ingest
                 for g, stream, values, ts in records:
                     ingest(g, stream, values, ts)
+                if advance_to is not None:
+                    runtime.advance(advance_to[0], advance_to[1])
+            elif ftype == FT_COLBATCH:
+                seq, entries, advance_to = codec.decode_column_batch(payload)
+                decode_s += clock() - started
+                for stream, gs, batch in entries:
+                    runtime.ingest_columns(gs, stream, batch)
                 if advance_to is not None:
                     runtime.advance(advance_to[0], advance_to[1])
             elif ftype == FT_ADVANCE:
@@ -1003,6 +893,21 @@ class ShardWorkerClient:
         if advance_to is not None:
             self.last_sent_ts = advance_to[1]
         self._send(frame, len(records), heartbeat=not records)
+
+    def send_column_batch(
+        self,
+        entries: list[tuple[str, Sequence[int], ColumnBatch]],
+        advance_to: tuple[int, float] | None,
+    ) -> None:
+        started = time.perf_counter()
+        frame = self._codec.encode_column_batch(
+            self._next_seq(), entries, advance_to
+        )
+        self.encode_s += time.perf_counter() - started
+        if advance_to is not None:
+            self.last_sent_ts = advance_to[1]
+        n_rows = sum(len(batch) for _stream, _gs, batch in entries)
+        self._send(frame, n_rows, heartbeat=not n_rows)
 
     def send_advance(self, g: int, ts: float) -> None:
         frame = self._codec.encode_advance(self._next_seq(), g, ts)
