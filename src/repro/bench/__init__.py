@@ -18,7 +18,9 @@ from .metrics import (
 from .runners import (
     BENCH_RUNNERS,
     TRANSPORT_ARMS,
+    checkpoint_overhead,
     effective_cpu_count,
+    run_fault_tolerance,
     run_operator_state,
     run_shard_transport,
     run_sharded_scaling,
@@ -36,10 +38,12 @@ __all__ = [
     "ResultTable",
     "TRANSPORT_ARMS",
     "Timed",
+    "checkpoint_overhead",
     "containment_accuracy",
     "effective_cpu_count",
     "measure_latencies",
     "percentile",
+    "run_fault_tolerance",
     "run_operator_state",
     "run_shard_transport",
     "run_sharded_scaling",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping, Sequence
 
+from ...dsms.checkpoint import WindowBufferState
 from ...dsms.engine import Collector, Engine, QueryHandle
 from ...dsms.errors import (
     EslRuntimeError,
@@ -600,6 +601,7 @@ def _compile_exists_probe(
     else:
         buffer = RangeWindowBuffer(window.preceding)
     teardowns.append(stream.subscribe(buffer.append))
+    engine.register_checkpointable(WindowBufferState(engine, buffer))
     duration = window.preceding if window.preceding is not None else float("inf")
     anchor_name = window.anchor if window.anchor != "CURRENT" else outer_alias
     is_range = isinstance(buffer, RangeWindowBuffer)
@@ -809,6 +811,52 @@ class _AggState:
         ]
 
 
+class _AggQueryState:
+    """Checkpoint adapter for one aggregate query's mutable state.
+
+    The running group states and the optional window buffer live in
+    closure scope; this adapter holds references to both so the engine's
+    checkpoint machinery can capture them.  Aggregate states are already
+    plain data (numbers, tuples, SQL-UDA table rows), so they cross the
+    checkpoint as-is; :class:`_AggState` wrappers are rebuilt at restore.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        calls: Sequence[AggregateCall],
+        groups: dict[Any, _AggState],
+        window_buffer: Any,
+    ) -> None:
+        self.engine = engine
+        self.calls = calls
+        self.groups = groups
+        self.buffer = (
+            WindowBufferState(engine, window_buffer)
+            if window_buffer is not None
+            else None
+        )
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "groups": [
+                (key, list(state.states)) for key, state in self.groups.items()
+            ],
+            "buffer": (
+                self.buffer.snapshot_state() if self.buffer is not None else None
+            ),
+        }
+
+    def restore_state(self, blob: Mapping[str, Any]) -> None:
+        self.groups.clear()
+        for key, states in blob["groups"]:
+            state = _AggState(self.engine, self.calls)
+            state.states = list(states)
+            self.groups[key] = state
+        if self.buffer is not None:
+            self.buffer.restore_state(blob["buffer"])
+
+
 def _compile_aggregate(engine: Engine, analysis: Analysis, label: str) -> QueryHandle:
     statement = analysis.statement
     source = _stream_source(analysis)
@@ -859,6 +907,9 @@ def _compile_aggregate(engine: Engine, analysis: Analysis, label: str) -> QueryH
 
     # Running (cumulative) state per group key.
     groups: dict[Any, _AggState] = {}
+    engine.register_checkpointable(
+        _AggQueryState(engine, calls, groups, window_buffer)
+    )
 
     def group_key(env: Env) -> Any:
         if not group_fns:

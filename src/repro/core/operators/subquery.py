@@ -30,8 +30,9 @@ Semantics summary (``negate=True`` = NOT EXISTS):
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
+from ...dsms.checkpoint import pack_tuple, tuple_unpacker
 from ...dsms.clock import Timer
 from ...dsms.engine import Engine
 from ...dsms.errors import WindowError
@@ -103,6 +104,51 @@ class SymmetricExistsOperator:
             self._unsubscribes.append(self.outer.subscribe(self._on_outer))
         self.emitted = 0
         self.suppressed = 0
+        register = getattr(engine, "register_checkpointable", None)
+        if register is not None:
+            register(self)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """All mutable state as plain data: pending decisions (timers are
+        re-armed at restore), the inner-history window, and counters."""
+        return {
+            "pending": [
+                (pack_tuple(p.outer), p.deadline, p.resolved)
+                for p in self._pending
+            ],
+            "history": [pack_tuple(t) for t in self._history],
+            "latest": self._history.latest_ts,
+            "results": [
+                (pack_tuple(t), decided) for t, decided in self.results
+            ],
+            "emitted": self.emitted,
+            "suppressed": self.suppressed,
+        }
+
+    def restore_state(self, blob: Mapping[str, Any]) -> None:
+        unpack = tuple_unpacker(self.engine)
+        for pending in self._pending:
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending = []
+        for packed, deadline, resolved in blob["pending"]:
+            pending = _Pending(unpack(packed), deadline)
+            pending.resolved = resolved
+            self._pending.append(pending)
+            if not resolved:
+                self._arm(pending)
+        history = self._history
+        history.clear()
+        for packed in blob["history"]:
+            history._tuples.append(unpack(packed))
+        history._latest = blob["latest"]
+        self.results = [
+            (unpack(p), decided) for p, decided in blob["results"]
+        ]
+        self.emitted = blob["emitted"]
+        self.suppressed = blob["suppressed"]
 
     # -- public --------------------------------------------------------------
 
@@ -179,21 +225,33 @@ class SymmetricExistsOperator:
             return
         pending = _Pending(tup, tup.ts + self.following)
         self._pending.append(pending)
+        self._arm(pending)
 
-        def on_deadline(fired_at: float) -> None:
-            if pending.resolved:
-                return
-            pending.resolved = True
-            try:
-                self._pending.remove(pending)
-            except ValueError:
-                pass
-            if self.negate:
-                self._emit(pending.outer, fired_at)
-            else:
-                self.suppressed += 1
+    def _arm(self, pending: _Pending) -> None:
+        """Schedule the decision-point timer for *pending*.
 
-        pending.timer = self.engine.clock.schedule(pending.deadline, on_deadline)
+        A method (not an inline closure) so a checkpoint restore can
+        re-arm restored pending entries through the same path.
+        """
+        pending.timer = self.engine.clock.schedule(
+            pending.deadline,
+            lambda fired_at, pending=pending: self._resolve_deadline(
+                pending, fired_at
+            ),
+        )
+
+    def _resolve_deadline(self, pending: _Pending, fired_at: float) -> None:
+        if pending.resolved:
+            return
+        pending.resolved = True
+        try:
+            self._pending.remove(pending)
+        except ValueError:
+            pass
+        if self.negate:
+            self._emit(pending.outer, fired_at)
+        else:
+            self.suppressed += 1
 
     def _emit(self, outer: Tuple, decided_at: float) -> None:
         self.emitted += 1

@@ -189,6 +189,19 @@ class Engine:
         self.indexed_state = indexed_state
         self.vectorized_admission = vectorized_admission
         self._query_counter = 0
+        # Checkpointable components (operators, window buffers) in compile
+        # order.  Engines rebuilt from the same statements register the
+        # same components in the same order, which is what lets
+        # dsms.checkpoint align a state blob with a fresh engine.
+        self.checkpointables: list[Any] = []
+
+    def register_checkpointable(self, component: Any) -> None:
+        """Register a component exposing ``snapshot_state``/``restore_state``.
+
+        Called by the query compiler for every stateful operator it
+        wires; see :mod:`repro.dsms.checkpoint`.
+        """
+        self.checkpointables.append(component)
 
     # -- catalog --------------------------------------------------------
 

@@ -61,7 +61,24 @@ class OutOfOrderError(EslRuntimeError):
 
     The DSMS assumes append-only, timestamp-ordered streams (paper section 1).
     Sources that cannot guarantee order must sort or buffer before pushing.
+
+    Attributes:
+        stream: name of the stream that rejected the tuple (or None).
+        ts: the offending tuple's timestamp.
+        last_ts: the stream's last-accepted timestamp.
     """
+
+    def __init__(
+        self,
+        message: str,
+        stream: str | None = None,
+        ts: float | None = None,
+        last_ts: float | None = None,
+    ) -> None:
+        self.stream = stream
+        self.ts = ts
+        self.last_ts = last_ts
+        super().__init__(message)
 
 
 class ClockError(EslRuntimeError):
@@ -77,9 +94,34 @@ class TransportError(EslRuntimeError):
     worker reported an exception (the message carries its traceback)."""
 
 
+class WorkerCrashed(TransportError):
+    """A shard worker process died: the pipe reached EOF, a send hit a
+    closed pipe, or the process exited without a STOP handshake.  A
+    crash is restartable — the worker's engine state is gone, but a
+    checkpoint + replay log can rebuild it."""
+
+
+class WorkerHung(TransportError):
+    """A shard worker stopped making progress: frames are in flight but
+    no acknowledgement arrived within the hang deadline.  Hangs are
+    restartable under supervision (the wedged process is killed first)."""
+
+
 class FrameCodecError(TransportError):
     """A transport frame could not be encoded or decoded: short, truncated,
     corrupt (CRC mismatch), or referencing unknown interned ids."""
+
+
+class FrameCorrupt(FrameCodecError):
+    """A frame failed its integrity check on the wire (CRC mismatch,
+    truncation, bad magic) — distinguished from codec misuse so the
+    supervisor can classify it as a transport fault and restart."""
+
+
+class CheckpointError(EslRuntimeError):
+    """Shard state could not be checkpointed or restored: an operator in
+    the plan does not support state capture, or the checkpoint blob does
+    not match the engine the restore is applied to."""
 
 
 class EpcFormatError(EslError):

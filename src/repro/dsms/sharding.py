@@ -91,6 +91,8 @@ Typical use::
 
 from __future__ import annotations
 
+import heapq
+import time
 import zlib
 from collections import deque
 from collections.abc import Mapping as _MappingABC
@@ -280,6 +282,43 @@ class _ShardRuntime:
 
     def table_rows(self, name: str) -> list[dict[str, Any]]:
         return list(self.engine.tables.get(name).scan())
+
+    # -- checkpoint / restore (fault tolerance) -------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Serialize all mutable shard state as plain picklable data.
+
+        Called over the transport's RPC path after a drain barrier, so
+        every stamped sink buffer is empty (each data frame's outputs
+        were already shipped) and the captured state is a consistent cut.
+        """
+        from .checkpoint import capture_engine_state
+
+        state = capture_engine_state(self.engine)
+        state["sink_locals"] = {
+            sink.sink_id: sink._local for sink in self._sinks
+        }
+        return state
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Restore a freshly-built runtime to a checkpointed cut.
+
+        The engine was just rebuilt from the spec, so compile-time rows
+        (one-shot table queries) sit undrained in the sink backings; the
+        cursor skips them — the original run already delivered them —
+        while ``_local`` resumes the checkpointed output numbering so
+        replayed batches regenerate byte-identical stamps.
+        """
+        from .checkpoint import restore_engine_state
+
+        restore_engine_state(self.engine, state)
+        sink_locals = state.get("sink_locals", {})
+        for sink in self._sinks:
+            sink._cursor = len(sink._backing)
+            sink._local = sink_locals.get(sink.sink_id, 0)
+            sink.rows.clear()
+        # Cached ingest closures bind the pre-restore sequencer.
+        self._ingesters.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -608,18 +647,48 @@ class _PipeExecutor:
         start_method: str | None = None,
         max_inflight: int = 2,
         adaptive_batch: bool = True,
+        fault_tolerance: str = "fail_fast",
+        checkpoint_interval: float | None = None,
+        hang_timeout: float | None = None,
+        fault_plan: Any = None,
+        max_restarts: int = 3,
+        restart_backoff_s: float = 0.05,
     ) -> None:
         import multiprocessing
 
+        from .supervisor import ShardSupervisor
         from .transport import AdaptiveBatcher, ShardWorkerClient
 
         self._n = n_shards
         self.codec = codec
         self._closed = False
+        # Fault-tolerance machinery.  With the default fail_fast policy
+        # the replay logs stay empty and none of this is consulted on the
+        # per-record path, so the no-fault hot path is unchanged.
+        self._spec = spec
+        self._max_inflight = max_inflight
+        self._hang_timeout = hang_timeout
+        self._fault_plan = fault_plan
+        self._ft = fault_tolerance != "fail_fast"
+        self._ckpt_interval = checkpoint_interval or None
+        self._supervisor = ShardSupervisor(
+            fault_tolerance,
+            max_restarts=max_restarts,
+            backoff_s=restart_backoff_s,
+        )
+        self._replay_logs: list[list[tuple]] = [[] for _ in range(n_shards)]
+        self._checkpoints: list[Any] = [None] * n_shards
+        self._last_ckpt_ts: float | None = None
+        self._degraded: set[int] = set()
+        self._active: list[int] = list(range(n_shards))
+        self._remap: dict[int, int] = {}
+        self.recoveries = 0
+        self.checkpoints_taken = 0
         self._collector = RunCollector()
         for sink_id, _kind, _target, _ship in spec.sinks:
             self._collector.register(sink_id, n_shards)
         context = multiprocessing.get_context(start_method)
+        self._context = context
         self._clients: list[ShardWorkerClient] = []
         try:
             for shard in range(n_shards):
@@ -632,6 +701,8 @@ class _PipeExecutor:
                         context,
                         self._collector.absorb,
                         max_inflight=max_inflight,
+                        hang_timeout=hang_timeout,
+                        fault_plan=fault_plan,
                     )
                 )
         except BaseException:
@@ -658,12 +729,196 @@ class _PipeExecutor:
             self.close(sync=False)
             raise
 
+    # -- fault tolerance ---------------------------------------------------
+
+    @staticmethod
+    def _raw_send(client: Any, entry: tuple) -> None:
+        """Replay-log entry -> wire frame.  Raw: never re-logs."""
+        kind = entry[0]
+        if kind == "batch":
+            client.send_batch(entry[1], entry[2])
+        elif kind == "colbatch":
+            client.send_column_batch(entry[1], entry[2])
+        elif kind == "advance":
+            client.send_advance(entry[1], entry[2])
+        else:  # "flush"
+            client.send_flush(entry[1])
+
+    def _entry_send(self, shard: int, entry: tuple) -> None:
+        """Send one entry to a shard, logging it first (append-before-send)
+        so a mid-send crash replays it along with everything since the
+        last checkpoint."""
+        if shard in self._degraded:
+            return
+        if self._ft:
+            self._replay_logs[shard].append(entry)
+        try:
+            self._raw_send(self._clients[shard], entry)
+        except TransportError as exc:
+            # Recovery replays the whole log — including this entry — so
+            # a successful return here means the entry was delivered.
+            self._on_shard_failure(shard, exc)
+
+    def _on_shard_failure(self, shard: int, exc: BaseException) -> None:
+        """Escalation loop: restart (possibly repeatedly), degrade, or
+        re-raise per the supervisor's policy decision."""
+        if shard in self._degraded:
+            return
+        while True:
+            action = self._supervisor.on_failure(shard, exc)
+            if action == "raise":
+                raise exc
+            if action == "degrade":
+                self._degrade_shard(shard)
+                return
+            try:
+                self._restart_shard(shard)
+                return
+            except TransportError as next_exc:  # cascade: count it again
+                exc = next_exc
+
+    def _dedup_absorb(self, shard: int) -> Callable[[int, dict], None]:
+        """Output filter for a restarted worker: replay regenerates every
+        post-checkpoint emission, so rows whose local counter falls below
+        what this shard already delivered are duplicates and are dropped."""
+        collector = self._collector
+        seen = {
+            sink_id: len(collector.runs_for(sink_id)[shard])
+            for sink_id in collector.sink_ids()
+        }
+        def absorb(s: int, outputs: dict) -> None:
+            filtered = {}
+            for sink_id, rows in outputs.items():
+                cut = seen.get(sink_id, 0)
+                kept = [row for row in rows if row[3] >= cut]
+                if kept:
+                    filtered[sink_id] = kept
+            if filtered:
+                collector.absorb(s, filtered)
+        return absorb
+
+    def _restart_shard(self, shard: int) -> None:
+        """Respawn a shard worker, restore its last checkpoint (or rebuild
+        from the spec when none was taken), and replay the logged frames."""
+        from .transport import ShardWorkerClient
+
+        started = time.monotonic()
+        try:
+            self._clients[shard].close()
+        except Exception:  # noqa: BLE001 - dead worker teardown is best-effort
+            pass
+        client = ShardWorkerClient(
+            self._spec,
+            shard,
+            self._n,
+            self.codec,
+            self._context,
+            self._dedup_absorb(shard),
+            max_inflight=self._max_inflight,
+            hang_timeout=self._hang_timeout,
+            fault_plan=self._fault_plan,
+        )
+        self._clients[shard] = client
+        client.wait_ready()
+        blob = self._checkpoints[shard]
+        if blob is not None:
+            client.call("restore", blob)
+        for entry in self._replay_logs[shard]:
+            self._raw_send(client, entry)
+        client.drain()
+        self._supervisor.on_recovered(shard, time.monotonic() - started)
+        self.recoveries += 1
+
+    def _degrade_shard(self, shard: int) -> None:
+        """Drop a shard permanently: its traffic remaps to a survivor and
+        every affected output is flagged stale (see degraded_shards())."""
+        self._degraded.add(shard)
+        self._active = [s for s in range(self._n) if s not in self._degraded]
+        if not self._active:
+            raise TransportError(
+                "every shard worker has failed; no survivor to degrade to"
+            )
+        target = self._active[shard % len(self._active)]
+        self._remap[shard] = target
+        for src, dst in list(self._remap.items()):
+            if dst == shard:
+                self._remap[src] = target
+        pending = self._buffers[shard]
+        if pending:
+            # Both buffers are ascending in g; merging by g keeps the
+            # survivor's per-stream timestamps monotone.
+            self._buffers[shard] = []
+            merged = list(
+                heapq.merge(
+                    self._buffers[target], pending, key=lambda r: r[0]
+                )
+            )
+            self._buffers[target] = merged
+        try:
+            self._clients[shard].close()
+        except Exception:  # noqa: BLE001
+            pass
+        self._replay_logs[shard] = []
+        self._checkpoints[shard] = None
+
+    def _client_call(self, shard: int, method: str, *args: Any) -> Any:
+        """RPC with recovery: on a restartable failure the shard is
+        restarted (state restored + log replayed) and the call retried."""
+        while True:
+            if shard in self._degraded:
+                return None
+            try:
+                return self._clients[shard].call(method, *args)
+            except TransportError as exc:
+                self._on_shard_failure(shard, exc)
+
+    def _drain_all(self) -> None:
+        for shard in range(self._n):
+            while shard not in self._degraded:
+                try:
+                    self._clients[shard].drain()
+                    break
+                except TransportError as exc:
+                    self._on_shard_failure(shard, exc)
+
+    def _maybe_checkpoint(self) -> None:
+        if self._max_ts is None:
+            return
+        last = self._last_ckpt_ts
+        if last is not None and self._max_ts - last < self._ckpt_interval:
+            return
+        self._checkpoint_now()
+
+    def _checkpoint_now(self) -> None:
+        """Checkpoint every live shard and clear its replay log.
+
+        ``call`` drains first, so the captured state reflects every frame
+        sent so far and the emptied log loses nothing."""
+        self._last_ckpt_ts = self._max_ts
+        for shard in self._active:
+            blob = self._client_call(shard, "checkpoint")
+            if shard in self._degraded:
+                continue
+            self._checkpoints[shard] = blob
+            self._replay_logs[shard] = []
+        self.checkpoints_taken += 1
+
+    def checkpoint_now(self) -> None:
+        self._guard(self._checkpoint_now)
+
+    def degraded_shards(self) -> set[int]:
+        return set(self._degraded)
+
+    # -- dispatch ----------------------------------------------------------
+
     def _dispatch_all(self, advance_to: tuple[int, float] | None) -> None:
-        for shard, client in enumerate(self._clients):
+        for shard in self._active:
+            client = self._clients[shard]
             records = self._buffers[shard]
             if records:
                 self._buffers[shard] = []
-                client.send_batch(records, advance_to)
+                self._entry_send(shard, ("batch", records, advance_to))
+                client = self._clients[shard]  # may have been restarted
                 batcher = self._batchers[shard]
                 for rtt_s, n_records in client.take_rtt_samples():
                     batcher.observe(rtt_s, n_records)
@@ -675,7 +930,9 @@ class _PipeExecutor:
                 # when the stamp is newer — a stale clock cannot fire
                 # timers or produce outputs, so skipping preserves the
                 # merge order exactly.
-                client.send_advance(advance_to[0], advance_to[1])
+                self._entry_send(
+                    shard, ("advance", advance_to[0], advance_to[1])
+                )
 
     def _note(self, g: int, ts: float) -> None:
         self._max_g = g
@@ -691,24 +948,33 @@ class _PipeExecutor:
 
     def route_one(self, shard: int, g: int, stream: str, values: Any, ts: float) -> None:
         self._note(g, ts)
+        if self._remap:
+            shard = self._remap.get(shard, shard)
         buffer = self._buffers[shard]
         buffer.append((g, stream, values, ts))
         if len(buffer) >= self._batchers[shard].size:
             self._guard(self._dispatch_all, (g, self._max_ts))
+        if self._ckpt_interval is not None:
+            self._guard(self._maybe_checkpoint)
 
     def broadcast_one(self, g: int, stream: str, values: Any, ts: float) -> None:
         self._note(g, ts)
         record = (g, stream, values, ts)
         full = False
-        for shard, buffer in enumerate(self._buffers):
+        for shard in self._active:
+            buffer = self._buffers[shard]
             buffer.append(record)
             full = full or len(buffer) >= self._batchers[shard].size
         if full:
             self._guard(self._dispatch_all, (g, self._max_ts))
+        if self._ckpt_interval is not None:
+            self._guard(self._maybe_checkpoint)
 
     def advance_all(self, g: int, ts: float) -> None:
         self._note(g, ts)
         self._guard(self._dispatch_all, (g, ts))
+        if self._ckpt_interval is not None:
+            self._guard(self._maybe_checkpoint)
 
     def _route_columns(
         self,
@@ -717,25 +983,36 @@ class _PipeExecutor:
     ) -> None:
         touched = set()
         for shard, gs, stream, batch in entries:
-            client = self._clients[shard]
+            if self._remap:
+                shard = self._remap.get(shard, shard)
+            if shard in self._degraded:
+                continue
             records = self._buffers[shard]
             if records:
                 # Row-buffered records precede this batch in global order;
                 # flush them first so the worker applies them first.
                 self._buffers[shard] = []
-                client.send_batch(records, None)
-            client.send_column_batch([(stream, gs, batch)], advance_to)
+                self._entry_send(shard, ("batch", records, None))
+            self._entry_send(
+                shard, ("colbatch", [(stream, gs, batch)], advance_to)
+            )
+            if shard in self._degraded:
+                continue
+            client = self._clients[shard]
             batcher = self._batchers[shard]
             for rtt_s, n_records in client.take_rtt_samples():
                 batcher.observe(rtt_s, n_records)
             touched.add(shard)
         if advance_to is None:
             return
-        for shard, client in enumerate(self._clients):
+        for shard in self._active:
             if shard in touched:
                 continue
+            client = self._clients[shard]
             if client.last_sent_ts is None or advance_to[1] > client.last_sent_ts:
-                client.send_advance(advance_to[0], advance_to[1])
+                self._entry_send(
+                    shard, ("advance", advance_to[0], advance_to[1])
+                )
 
     def route_columns(
         self,
@@ -751,13 +1028,14 @@ class _PipeExecutor:
         if advance_to is not None:
             self._note(advance_to[0], advance_to[1])
         self._guard(self._route_columns, entries, advance_to)
+        if self._ckpt_interval is not None:
+            self._guard(self._maybe_checkpoint)
 
     def _flush_all(self, g: int) -> None:
         self._dispatch_all(None)
-        for client in self._clients:
-            client.send_flush(g)
-        for client in self._clients:
-            client.drain()
+        for shard in list(self._active):
+            self._entry_send(shard, ("flush", g))
+        self._drain_all()
 
     def flush_all(self, g: int) -> None:
         self._guard(self._flush_all, g)
@@ -768,8 +1046,7 @@ class _PipeExecutor:
                 None if self._max_ts is None else (self._max_g, self._max_ts)
             )
             self._dispatch_all(advance)
-        for client in self._clients:
-            client.drain()
+        self._drain_all()
 
     def sync(self) -> None:
         """Barrier: drain buffers, then wait until every frame is acked."""
@@ -787,15 +1064,18 @@ class _PipeExecutor:
         self.sync()
         return self._guard(
             lambda: [
-                client.call("query_state_size", label)
-                for client in self._clients
+                self._client_call(shard, "query_state_size", label) or 0
+                for shard in range(self._n)
             ]
         )
 
     def table_rows(self, name: str) -> list[list[dict[str, Any]]]:
         self.sync()
         return self._guard(
-            lambda: [client.call("table_rows", name) for client in self._clients]
+            lambda: [
+                self._client_call(shard, "table_rows", name) or []
+                for shard in range(self._n)
+            ]
         )
 
     def stats(self) -> list[dict[str, Any]]:
@@ -824,7 +1104,10 @@ class _PipeExecutor:
             pass  # tearing down a failed transport must not mask the cause
         finally:
             for client in self._clients:
-                client.close()
+                try:
+                    client.close()
+                except Exception:  # noqa: BLE001 - keep reaping the rest
+                    pass
 
 
 # ---------------------------------------------------------------------------
@@ -905,6 +1188,12 @@ class ShardedQueryHandle:
         """Total retained operator state, summed across shards."""
         return sum(self.sharded._executor_for_stats().query_state_sizes(self.name))
 
+    @property
+    def stale(self) -> bool:
+        """True when a shard feeding this output was dropped (``degrade``
+        policy): merged results miss that shard's post-failure rows."""
+        return self.sharded.stale
+
     def stop(self) -> None:
         self.stopped = True
 
@@ -949,6 +1238,26 @@ class ShardedEngine:
         measure_bytes: make the ``futures`` executor count submission
             bytes by pickling each batch a second time — measurement
             overhead, so keep it off for timed runs.
+        fault_tolerance: what happens when a shard worker fails
+            (``parallel`` only; see ``docs/FAULT_TOLERANCE.md``):
+            ``'fail_fast'`` (default — re-raise, tear down, exactly the
+            pre-existing behaviour), ``'restart'`` (respawn the worker,
+            restore its last checkpoint, replay the logged frames), or
+            ``'degrade'`` (restart up to the budget, then drop the shard
+            and remap its traffic to survivors, flagging outputs stale).
+        checkpoint_interval: stream-time seconds between shard state
+            checkpoints (``parallel`` only); ``None``/0 disables periodic
+            checkpoints — recovery then replays from the start of the
+            run.
+        hang_timeout: wall-clock seconds a worker may sit on in-flight
+            frames without progress before it is declared hung
+            (``parallel`` only; ``None`` disables hang detection).
+        fault_plan: a :class:`~repro.dsms.faults.FaultPlan` injecting
+            crashes/drops/corruption/wedges into the transport — tests
+            and benchmarks only.
+        max_restarts: per-shard restart budget under ``restart`` /
+            ``degrade`` before escalating.
+        restart_backoff_s: linear backoff base between restart attempts.
     """
 
     def __init__(
@@ -965,6 +1274,12 @@ class ShardedEngine:
         max_inflight: int = 2,
         adaptive_batch: bool = True,
         measure_bytes: bool = False,
+        fault_tolerance: str = "fail_fast",
+        checkpoint_interval: float | None = None,
+        hang_timeout: float | None = None,
+        fault_plan: Any = None,
+        max_restarts: int = 3,
+        restart_backoff_s: float = 0.05,
     ) -> None:
         if n_shards < 1:
             raise EslSemanticError(f"n_shards must be >= 1, got {n_shards}")
@@ -977,6 +1292,22 @@ class ShardedEngine:
             raise EslSemanticError(
                 f"unknown codec {codec!r}: expected 'framed' or 'pickle'"
             )
+        if fault_tolerance not in ("fail_fast", "restart", "degrade"):
+            raise EslSemanticError(
+                f"unknown fault_tolerance {fault_tolerance!r}: expected "
+                "'fail_fast', 'restart', or 'degrade'"
+            )
+        if executor != "parallel" and (
+            fault_tolerance != "fail_fast"
+            or checkpoint_interval
+            or hang_timeout is not None
+            or fault_plan is not None
+        ):
+            raise EslSemanticError(
+                "fault-tolerance options (fault_tolerance, "
+                "checkpoint_interval, hang_timeout, fault_plan) require "
+                "executor='parallel'"
+            )
         self.n_shards = n_shards
         self.executor_kind = executor
         self.batch_size = batch_size
@@ -985,6 +1316,19 @@ class ShardedEngine:
         self.max_inflight = max_inflight
         self.adaptive_batch = adaptive_batch
         self.measure_bytes = measure_bytes
+        self.fault_tolerance = fault_tolerance
+        self.checkpoint_interval = checkpoint_interval
+        self.hang_timeout = hang_timeout
+        self.fault_plan = fault_plan
+        self.max_restarts = max_restarts
+        self.restart_backoff_s = restart_backoff_s
+        # Under `degrade`, remember which partition keys each shard owns
+        # so a dropped shard's stale partitions can be named exactly.
+        self._shard_keys: dict[int, set[Any]] | None = (
+            {shard: set() for shard in range(n_shards)}
+            if fault_tolerance == "degrade"
+            else None
+        )
         self.compile_expressions = compile_expressions
         self.indexed_state = indexed_state
         self.vectorized_admission = vectorized_admission
@@ -1290,6 +1634,12 @@ class ShardedEngine:
                 start_method=self.start_method,
                 max_inflight=self.max_inflight,
                 adaptive_batch=self.adaptive_batch,
+                fault_tolerance=self.fault_tolerance,
+                checkpoint_interval=self.checkpoint_interval,
+                hang_timeout=self.hang_timeout,
+                fault_plan=self.fault_plan,
+                max_restarts=self.max_restarts,
+                restart_backoff_s=self.restart_backoff_s,
             )
 
     def start(self) -> "ShardedEngine":
@@ -1345,13 +1695,11 @@ class ShardedEngine:
                     "query but carries no known shard key; it can be collected "
                     "but not pushed to"
                 )
-            self._executor.route_one(
-                shard_of(key_fn(values), self.n_shards),
-                g,
-                route.stream,
-                values,
-                ts,
-            )
+            key = key_fn(values)
+            shard = shard_of(key, self.n_shards)
+            if self._shard_keys is not None:
+                self._shard_keys[shard].add(key)
+            self._executor.route_one(shard, g, route.stream, values, ts)
         else:
             self._executor.broadcast_one(g, route.stream, values, ts)
 
@@ -1408,9 +1756,23 @@ class ShardedEngine:
             )
             key_column = batch.columns[position]
             n_shards = self.n_shards
+            track = self._shard_keys
             buckets: dict[int, list[int]] = {}
             for i in range(n):
-                buckets.setdefault(shard_of(key_column[i], n_shards), []).append(i)
+                shard = shard_of(key_column[i], n_shards)
+                buckets.setdefault(shard, []).append(i)
+                if track is not None:
+                    track[shard].add(key_column[i])
+            remap = getattr(executor, "_remap", None)
+            if remap:
+                # Degraded shards: fold their buckets into the survivor's
+                # before assembly so each sub-batch stays ascending in g
+                # (and therefore in per-stream timestamp order).
+                for src, dst in remap.items():
+                    moved = buckets.pop(src, None)
+                    if moved is not None:
+                        buckets.setdefault(dst, []).extend(moved)
+                        buckets[dst].sort()
             entries = []
             for shard in sorted(buckets):
                 indices = buckets[shard]
@@ -1545,6 +1907,62 @@ class ShardedEngine:
             return 0
         fn = getattr(self._executor, "alive_workers", None)
         return fn() if fn is not None else 0
+
+    # -- fault tolerance --------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Force an immediate checkpoint of every live shard.
+
+        Normally checkpoints fire on ``checkpoint_interval`` stream-time
+        boundaries; this forces one now (``parallel`` executor only).
+        """
+        self._freeze()
+        fn = getattr(self._executor, "checkpoint_now", None)
+        if fn is None:
+            raise EslSemanticError(
+                "checkpointing requires executor='parallel'"
+            )
+        fn()
+
+    @property
+    def degraded_shards(self) -> set[int]:
+        """Shards dropped by the ``degrade`` policy (empty otherwise)."""
+        if self._executor is None:
+            return set()
+        fn = getattr(self._executor, "degraded_shards", None)
+        return fn() if fn is not None else set()
+
+    @property
+    def stale(self) -> bool:
+        """True when any shard was dropped: merged outputs are missing
+        that shard's post-failure contribution."""
+        return bool(self.degraded_shards)
+
+    def stale_partitions(self) -> dict[int, list[Any]]:
+        """Partition keys whose owning shard was dropped, per shard.
+
+        Only populated under ``fault_tolerance='degrade'`` (key tracking
+        is off otherwise — it costs a set insert per routed record).
+        """
+        degraded = self.degraded_shards
+        if not degraded or self._shard_keys is None:
+            return {shard: [] for shard in degraded}
+        return {
+            shard: sorted(self._shard_keys.get(shard, ()), key=str)
+            for shard in degraded
+        }
+
+    def fault_stats(self) -> dict[str, Any]:
+        """Recovery counters and the supervisor's decision log."""
+        executor = self._executor
+        supervisor = getattr(executor, "_supervisor", None)
+        return {
+            "policy": self.fault_tolerance,
+            "recoveries": getattr(executor, "recoveries", 0),
+            "checkpoints": getattr(executor, "checkpoints_taken", 0),
+            "degraded_shards": sorted(self.degraded_shards),
+            "events": list(getattr(supervisor, "events", []) or []),
+        }
 
     # -- lifecycle -------------------------------------------------------
 

@@ -96,7 +96,8 @@ class Stream:
             if self.last_ts is not None and tup.ts < self.last_ts:
                 raise OutOfOrderError(
                     f"stream {self.name!r}: tuple at ts={tup.ts:g} after "
-                    f"ts={self.last_ts:g}"
+                    f"ts={self.last_ts:g}",
+                    stream=self.name, ts=tup.ts, last_ts=self.last_ts,
                 )
             self._deliver(tup)
             return
@@ -237,7 +238,8 @@ class Stream:
             if last is not None and tup.ts < last:
                 raise OutOfOrderError(
                     f"stream {name!r}: tuple at ts={tup.ts:g} after "
-                    f"ts={last:g}"
+                    f"ts={last:g}",
+                    stream=name, ts=tup.ts, last_ts=last,
                 )
             self.last_ts = tup.ts
             self.count += 1
@@ -339,7 +341,8 @@ class Stream:
             last = self.last_ts
             if last is not None and ts < last:
                 raise OutOfOrderError(
-                    f"stream {name!r}: tuple at ts={ts:g} after ts={last:g}"
+                    f"stream {name!r}: tuple at ts={ts:g} after ts={last:g}",
+                    stream=name, ts=ts, last_ts=last,
                 )
             self.last_ts = ts
             self.count += 1

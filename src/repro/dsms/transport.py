@@ -62,7 +62,14 @@ from .columns import (
     schema_hints as _schema_hints,
     unpack_column as _unpack_column,
 )
-from .errors import FrameCodecError, SchemaError, TransportError
+from .errors import (
+    FrameCodecError,
+    FrameCorrupt,
+    SchemaError,
+    TransportError,
+    WorkerCrashed,
+    WorkerHung,
+)
 from .merge import StampedRow
 
 # ---------------------------------------------------------------------------
@@ -104,22 +111,22 @@ def decode_frame(data: bytes) -> tuple[int, memoryview]:
     one.
     """
     if len(data) < _HEADER.size:
-        raise FrameCodecError(
+        raise FrameCorrupt(
             f"short frame: {len(data)} bytes < {_HEADER.size}-byte header"
         )
     magic, ftype, _flags, length, crc = _HEADER.unpack_from(data)
     if magic != MAGIC:
-        raise FrameCodecError(f"bad frame magic 0x{magic:04x}")
+        raise FrameCorrupt(f"bad frame magic 0x{magic:04x}")
     if ftype not in _FRAME_TYPES:
         raise FrameCodecError(f"unknown frame type {ftype}")
     payload = memoryview(data)[_HEADER.size:]
     if len(payload) != length:
-        raise FrameCodecError(
+        raise FrameCorrupt(
             f"truncated frame: header declares {length} payload bytes, "
             f"got {len(payload)}"
         )
     if zlib.crc32(payload) != crc:
-        raise FrameCodecError("frame CRC mismatch (corrupt payload)")
+        raise FrameCorrupt("frame CRC mismatch (corrupt payload)")
     return ftype, payload
 
 
@@ -575,6 +582,15 @@ class AdaptiveBatcher:
         self.shrinks = 0
 
     def observe(self, rtt_s: float, n_records: int) -> None:
+        # Clock-anomaly clamp: a worker restart can yield RTT samples
+        # computed across two different processes' sends — zero, negative
+        # (non-monotonic readings), NaN, or absurd values.  Non-finite and
+        # non-positive samples carry no latency signal, so they must not
+        # drive the batch size anywhere (a burst of zeros would otherwise
+        # grow past every queueing signal; negatives from a restarted
+        # pending queue would never shrink a saturated shard).
+        if not (0.0 < rtt_s < float("inf")):
+            return
         if rtt_s > self.high_water_s and self.size > self.min_size:
             self.size = max(self.size // 2, self.min_size)
             self.shrinks += 1
@@ -690,6 +706,11 @@ def _shutdown_worker(process: Any, conn: Any) -> None:
         if process.is_alive():
             process.terminate()
             process.join(timeout=1.0)
+        if process.is_alive():
+            # SIGTERM stays pending on a stopped (SIGSTOP-wedged) process;
+            # SIGKILL does not.
+            process.kill()
+            process.join(timeout=1.0)
     finally:
         try:
             conn.close()
@@ -715,6 +736,8 @@ class ShardWorkerClient:
         context: Any,
         on_outputs: Callable[[int, Mapping[str, list[StampedRow]]], None],
         max_inflight: int = 2,
+        hang_timeout: float | None = None,
+        fault_plan: Any = None,
     ) -> None:
         import weakref
 
@@ -722,6 +745,13 @@ class ShardWorkerClient:
         self._codec = FrameCodec(codec_name, spec)
         self._on_outputs = on_outputs
         self._max_inflight = max(1, max_inflight)
+        # Supervision knobs: when hang_timeout is set, the wait loops raise
+        # WorkerHung if frames stay unacknowledged past the deadline with
+        # no progress signal.  fault_plan (tests/benches only) intercepts
+        # sends to inject crashes, drops, corruption, and wedges.
+        self._hang_timeout = hang_timeout
+        self.fault_plan = fault_plan
+        self._last_progress = time.monotonic()
         conn, worker_conn = context.Pipe(duplex=True)
         self._conn = conn
         self._process = context.Process(
@@ -790,6 +820,7 @@ class ShardWorkerClient:
                     if outputs:
                         self._on_outputs(self.shard, outputs)
                     with cond:
+                        self._last_progress = time.monotonic()
                         self.decode_s += elapsed
                         self.frames_received += 1
                         self.bytes_received += len(data)
@@ -808,19 +839,30 @@ class ShardWorkerClient:
                         cond.notify_all()
                 elif ftype == FT_HELLO:
                     with cond:
+                        self._last_progress = time.monotonic()
                         self._ready = True
                         cond.notify_all()
                 elif ftype == FT_REPLY:
                     result, _ = loads_oob(payload)
                     with cond:
+                        self._last_progress = time.monotonic()
                         self._reply.append(result)
                         self.frames_received += 1
                         self.bytes_received += len(data)
                         cond.notify_all()
                 elif ftype == FT_ERROR:
                     (name, message, trace), _ = loads_oob(payload)
+                    # Classify by the worker-side exception: a frame the
+                    # worker could not verify is transport corruption (the
+                    # supervisor may restart and replay); anything else is
+                    # an application failure that would recur on replay.
+                    exc_cls = (
+                        FrameCorrupt
+                        if name in ("FrameCorrupt", "FrameCodecError")
+                        else TransportError
+                    )
                     with cond:
-                        self._error = TransportError(
+                        self._error = exc_cls(
                             f"shard {self.shard} worker failed: {name}: "
                             f"{message}\n--- worker traceback ---\n{trace}"
                         )
@@ -849,35 +891,66 @@ class ShardWorkerClient:
         if self._error is not None:
             raise self._error
         if self._dead and not self._closed:
-            raise TransportError(
+            raise WorkerCrashed(
                 f"shard {self.shard} worker exited unexpectedly"
             )
 
+    def _check_hang(self) -> None:
+        """Raise WorkerHung when in-flight work stalls past the deadline."""
+        timeout = self._hang_timeout
+        if timeout is None or not self._inflight:
+            return
+        stalled = time.monotonic() - self._last_progress
+        if stalled > timeout:
+            raise WorkerHung(
+                f"shard {self.shard} worker made no progress for "
+                f"{stalled:.1f}s with {self._inflight} frames in flight "
+                f"(hang_timeout={timeout:g}s)"
+            )
+
+    def _wait_interval(self) -> float:
+        timeout = self._hang_timeout
+        if timeout is None:
+            return 1.0
+        return min(1.0, max(timeout / 4.0, 0.005))
+
     def _admit(self) -> None:
         """Block until the in-flight window has room (backpressure)."""
+        wait_s = self._wait_interval()
         with self._cond:
             self._raise_if_failed()
             while self._inflight >= self._max_inflight:
-                self._cond.wait(timeout=1.0)
+                self._cond.wait(timeout=wait_s)
                 self._raise_if_failed()
+                self._check_hang()
 
     def _send(self, frame: bytes, n_records: int, heartbeat: bool) -> None:
         self._admit()
+        plan = self.fault_plan
+        if plan is not None:
+            frame = plan.before_send(
+                self.shard, self.frames_sent, frame, n_records
+            )
         with self._cond:
             self._seq += 1
             self._pending.append((self._seq, time.perf_counter(), n_records))
             self._inflight += 1
             self.frames_sent += 1
-            self.bytes_sent += len(frame)
+            self.bytes_sent += len(frame) if frame is not None else 0
             self.records_sent += n_records
             if heartbeat:
                 self.heartbeat_frames += 1
-        try:
-            self._conn.send_bytes(frame)
-        except (OSError, ValueError, BrokenPipeError) as exc:
-            raise TransportError(
-                f"shard {self.shard} worker pipe closed while sending: {exc}"
-            ) from exc
+            self._last_progress = time.monotonic()
+        if frame is not None:  # a dropped frame keeps its in-flight slot
+            try:
+                self._conn.send_bytes(frame)
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                raise WorkerCrashed(
+                    f"shard {self.shard} worker pipe closed while sending: "
+                    f"{exc}"
+                ) from exc
+        if plan is not None:
+            plan.after_send(self.shard, n_records, self._process)
 
     def _next_seq(self) -> int:
         return self._seq + 1
@@ -920,11 +993,13 @@ class ShardWorkerClient:
 
     def drain(self) -> None:
         """Barrier: wait until every sent frame has been acknowledged."""
+        wait_s = self._wait_interval()
         with self._cond:
             self._raise_if_failed()
             while self._inflight:
-                self._cond.wait(timeout=1.0)
+                self._cond.wait(timeout=wait_s)
                 self._raise_if_failed()
+                self._check_hang()
 
     def wait_ready(self, timeout: float = 60.0) -> None:
         deadline = time.monotonic() + timeout
@@ -950,14 +1025,25 @@ class ShardWorkerClient:
         try:
             self._conn.send_bytes(encode_call(method, args))
         except (OSError, ValueError, BrokenPipeError) as exc:
-            raise TransportError(
+            raise WorkerCrashed(
                 f"shard {self.shard} worker pipe closed while calling "
                 f"{method!r}: {exc}"
             ) from exc
+        wait_s = self._wait_interval()
+        started = time.monotonic()
         with self._cond:
             while not self._reply:
                 self._raise_if_failed()
-                self._cond.wait(timeout=1.0)
+                timeout = self._hang_timeout
+                if (
+                    timeout is not None
+                    and time.monotonic() - started > timeout
+                ):
+                    raise WorkerHung(
+                        f"shard {self.shard} worker did not reply to "
+                        f"{method!r} within {timeout:g}s"
+                    )
+                self._cond.wait(timeout=wait_s)
             return self._reply.pop()
 
     def take_rtt_samples(self) -> list[tuple[float, int]]:

@@ -45,6 +45,56 @@ class TestOutOfOrderDelivery:
         assert len(handle.rows()) == 2
         assert handle.rows()[0]["tagtime"] in (1.0, 1.4)
 
+    def test_out_of_order_error_carries_structured_context(self):
+        engine = Engine()
+        engine.create_stream("s", "tagid str")
+        engine.push("s", {"tagid": "a"}, ts=5.0)
+        with pytest.raises(OutOfOrderError) as excinfo:
+            engine.stream("s").push_row(["b"], ts=4.0)
+        err = excinfo.value
+        assert err.stream == "s"
+        assert err.ts == 4.0
+        assert err.last_ts == 5.0
+
+    def test_equal_ts_reorder_is_deterministic(self):
+        """Jittered tuples that tie on timestamp leave the reorder buffer
+        in arrival order, identically across runs with the same seed."""
+
+        def run():
+            rng = random.Random(42)
+            engine = Engine()
+            stream = engine.create_stream(
+                "s", "tagid str", allow_out_of_order=True, reorder_slack=5.0
+            )
+            got = engine.collect("s")
+            # Batches of ties at ts 1.0, 2.0, ... arrive shuffled within
+            # the slack; ties carry distinct ids so order is observable.
+            rows = [
+                (f"t{batch}.{i}", float(batch))
+                for batch in range(1, 5)
+                for i in range(4)
+            ]
+            rng.shuffle(rows)
+            for tagid, ts in rows:
+                stream.push_row([tagid], ts=ts)
+            stream.flush()
+            arrival = [tagid for tagid, _ts in rows]
+            return [t["tagid"] for t in got], arrival
+
+        first, arrival_a = run()
+        second, arrival_b = run()
+        assert first == second
+        assert arrival_a == arrival_b
+        # Timestamps are released in order, and tied tuples keep their
+        # arrival order (the buffer sorts stably on ts alone).
+        by_batch = {}
+        for tagid in first:
+            by_batch.setdefault(tagid.split(".")[0], []).append(tagid)
+        assert sorted(first, key=lambda t: float(t[1])) == first
+        for batch, members in by_batch.items():
+            in_arrival = [t for t in arrival_a if t.startswith(batch + ".")]
+            assert members == in_arrival
+
     def test_stale_tuples_dropped_beyond_slack(self):
         engine = Engine()
         stream = engine.create_stream(

@@ -147,6 +147,23 @@ def test_corrupt_payload_rejected():
         decode_frame(bytes(frame))
 
 
+def test_wire_damage_raises_the_restartable_subclass():
+    """CRC/magic/truncation failures raise FrameCorrupt — a FrameCodecError
+    the supervisor classifies as restartable wire damage — while encoding
+    errors (bad records) stay plain FrameCodecError application errors."""
+    from repro.dsms.errors import FrameCorrupt
+
+    assert issubclass(FrameCorrupt, FrameCodecError)
+    frame = bytearray(encode_frame(FT_BATCH, b"some payload"))
+    frame[-1] ^= 0x01
+    with pytest.raises(FrameCorrupt):
+        decode_frame(bytes(frame))
+    with pytest.raises(FrameCorrupt):
+        decode_frame(b"\x1f")
+    with pytest.raises(FrameCorrupt):
+        decode_frame(encode_frame(FT_BATCH, b"some payload")[:-3])
+
+
 def test_oob_pickle_round_trip():
     obj = {"k": [1, 2.5, None], "blob": b"\x00" * 64, "s": "κ"}
     encoded = dumps_oob(obj)
@@ -286,6 +303,18 @@ def test_adaptive_batcher_shrinks_on_slow_acks():
 def test_adaptive_batcher_initial_clamped():
     assert AdaptiveBatcher(1, min_size=64).size == 64
     assert AdaptiveBatcher(10**6, max_size=8192).size == 8192
+
+
+def test_adaptive_batcher_ignores_clock_anomalies():
+    """Zero, negative, NaN, or infinite RTT samples (clock steps, resumed
+    wedged workers) must not move the batch size in either direction."""
+    batcher = AdaptiveBatcher(256, min_size=64, max_size=1024)
+    for rtt in (0.0, -1.0, float("nan"), float("inf"), float("-inf")):
+        batcher.observe(rtt_s=rtt, n_records=256)
+    assert batcher.size == 256
+    assert batcher.growths == 0 and batcher.shrinks == 0
+    batcher.observe(rtt_s=0.001, n_records=256)  # sane sample still works
+    assert batcher.size == 512
 
 
 # -- persistent workers across start methods --------------------------------
