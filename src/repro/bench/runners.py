@@ -12,6 +12,7 @@ from __future__ import annotations
 import gc
 import os
 import platform
+import random
 import time
 from typing import Any, Callable, Mapping, Sequence
 
@@ -1045,10 +1046,271 @@ def checkpoint_overhead(report: BenchReport, interval: float) -> float | None:
     return float(value) if value is not None else None
 
 
+# ---------------------------------------------------------------------------
+# multi_query — shared registry execution vs one engine per query
+# ---------------------------------------------------------------------------
+
+
+def run_multi_query(
+    *,
+    query_counts: Sequence[int] = (1_000, 10_000, 100_000),
+    n_rows: int = 2_000,
+    naive_at: int = 1_000,
+    verify_sample: int = 25,
+    dedup_queries: int = 1_000,
+    reps: int | None = None,
+    seed: int = 11,
+) -> BenchReport:
+    """Shared multi-query execution vs the naive one-engine-per-query path.
+
+    The workload is the paper's deployment shape: N registered continuous
+    queries (one per tag of interest) over one RFID ``readings`` stream.
+    Every arm feeds the identical trace and the harness asserts that a
+    sample of subscriptions is byte-identical — same values, same
+    timestamps, same order — to an independent single-engine run of the
+    same query text, plus an exact answer-count check across *all*
+    subscriptions.
+
+    * ``shared-N`` — one Engine + QueryRegistry with N registered
+      queries.  Tag-equality predicates hoist into the router's hash
+      index, so per-tuple dispatch cost is one lookup, independent of N.
+    * ``naive-N`` — N private Engines, every tuple pushed N times (only
+      run up to *naive_at* queries; beyond that it is pointless to wait
+      for).
+
+    Registration (parse + compile, once per query) is timed separately
+    and reported as ``register_seconds`` — the headline arm seconds
+    measure steady-state feed throughput only, which is what a running
+    deployment pays per tuple.
+
+    A final pair of ``dedup-*`` arms registers *dedup_queries* identical
+    SEQ queries: sub-plan dedup collapses them onto one operator
+    (``shared_plans == 1``), against the distinct-filter arm where every
+    plan is unique.
+
+    Both modes are single-process and single-threaded, so the measured
+    speedup does not depend on free cores; ``cpu_limited`` is always
+    False for this report.
+    """
+    from ..dsms.engine import Engine
+    from ..dsms.multi_engine import MultiQueryEngine
+
+    if reps is None:
+        reps = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+    query_counts = tuple(query_counts)
+    max_queries = max(query_counts)
+
+    schema = "reader_id str, tag_id str, read_time float"
+
+    def query_text(i: int) -> str:
+        return (
+            "SELECT reader_id, tag_id, read_time FROM readings "
+            f"WHERE tag_id = 't{i:06d}'"
+        )
+
+    # Rows cycle the registered tag universe with a coprime stride, so
+    # matches spread across queries: each row answers exactly one query.
+    rng = random.Random(seed)
+    stride = 7919  # prime, coprime with the power-of-ten query counts
+    rows = [
+        (
+            (f"r{rng.randrange(8)}", f"t{(j * stride) % max_queries:06d}", float(j)),
+            float(j),
+        )
+        for j in range(n_rows)
+    ]
+
+    def rows_for(count: int, offset: float) -> list:
+        # Re-key tags into [0, count) so every scale sees the same match
+        # density (one query answered per row), and shift timestamps so
+        # one engine can replay the trace across reps monotonically.
+        return [
+            ((reader, f"t{int(tag[1:]) % count:06d}", ts), ts + offset)
+            for (reader, tag, ts), _ in rows
+        ]
+
+    report = BenchReport(
+        "multi_query",
+        meta={
+            "workload": "per-tag filter queries over one readings stream",
+            "query_counts": list(query_counts),
+            "n_rows": n_rows,
+            "naive_at": naive_at,
+            "reps": reps,
+            "verify_sample": verify_sample,
+            "cpu_count": effective_cpu_count(),
+            "effective_cpu_count": effective_cpu_count(),
+            "cpu_limited": False,
+            "note": (
+                "single process, single thread in every arm; arm seconds "
+                "are steady-state feed time only — per-query compile cost "
+                "is reported separately as register_seconds"
+            ),
+            "python": platform.python_version(),
+        },
+    )
+
+    def _verify(mq: Any, subs: list, count: int, trace: list) -> None:
+        expected: dict[str, int] = {}
+        for (_reader, tag, _rt), _ts in trace:
+            expected[tag] = expected.get(tag, 0) + 1
+        for i, sub in enumerate(subs):
+            want = expected.get(f"t{i:06d}", 0)
+            if len(sub.results) != want:
+                raise AssertionError(
+                    f"query {i} of {count}: {len(sub.results)} answers, "
+                    f"expected {want}"
+                )
+        sample = range(0, count, max(1, count // verify_sample))
+        for i in sample:
+            engine = Engine()
+            engine.create_stream("readings", schema)
+            handle = engine.query(query_text(i))
+            engine.push_batch("readings", trace)
+            reference = [(tup.values, tup.ts) for tup in handle.results]
+            got = [(tup.values, tup.ts) for tup in subs[i].results]
+            if got != reference:
+                raise AssertionError(
+                    f"query {i} of {count} diverged from a single-engine "
+                    f"run ({len(got)} vs {len(reference)} rows)"
+                )
+
+    speedups: dict[int, float] = {}
+    shared_seconds: dict[int, float] = {}
+    for count in query_counts:
+        mq = MultiQueryEngine(shared_execution=True)
+        mq.create_stream("readings", schema)
+        start = time.perf_counter()
+        subs = [mq.register(query_text(i)) for i in range(count)]
+        register_seconds = time.perf_counter() - start
+        best = float("inf")
+        for rep in range(reps):
+            trace = rows_for(count, offset=rep * (n_rows + 1.0))
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                mq.push_batch("readings", trace)
+                seconds = time.perf_counter() - start
+            finally:
+                gc.enable()
+            best = min(best, seconds)
+            if rep == 0:
+                _verify(mq, subs, count, trace)
+            for sub in subs:
+                sub.clear()
+        stats = mq.stats()
+        mq.close()
+        shared_seconds[count] = best
+        report.add_experiment(
+            f"shared-{count}",
+            n_tuples=n_rows,
+            seconds=best,
+            params={"queries": count, "mode": "shared"},
+            register_seconds=register_seconds,
+            indexed_entries=stats["indexed_entries"],
+            residual_entries=stats["residual_entries"],
+            deliveries=stats["deliveries"],
+        )
+
+        if count > naive_at:
+            continue
+        mq = MultiQueryEngine(shared_execution=False)
+        mq.create_stream("readings", schema)
+        start = time.perf_counter()
+        subs = [mq.register(query_text(i)) for i in range(count)]
+        register_seconds = time.perf_counter() - start
+        best = float("inf")
+        for rep in range(reps):
+            trace = rows_for(count, offset=rep * (n_rows + 1.0))
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                mq.push_batch("readings", trace)
+                seconds = time.perf_counter() - start
+            finally:
+                gc.enable()
+            best = min(best, seconds)
+            if rep == 0:
+                _verify(mq, subs, count, trace)
+            for sub in subs:
+                sub.clear()
+        mq.close()
+        report.add_experiment(
+            f"naive-{count}",
+            n_tuples=n_rows,
+            seconds=best,
+            params={"queries": count, "mode": "naive"},
+            register_seconds=register_seconds,
+        )
+        speedups[count] = best / shared_seconds[count] if shared_seconds[count] else 0.0
+
+    # Sub-plan dedup: identical SEQ queries collapse onto one operator.
+    seq_text = (
+        "SELECT S.tag_id, E.read_time FROM readings AS S, readings AS E "
+        "WHERE SEQ(S, E) OVER [60 SECONDS PRECEDING E] "
+        "AND S.tag_id = E.tag_id AND S.reader_id = 'r0'"
+    )
+    mq = MultiQueryEngine(shared_execution=True)
+    mq.create_stream("readings", schema)
+    subs = [mq.register(seq_text) for _ in range(dedup_queries)]
+    dedup_plans = mq.stats()["shared_plans"]
+    best = float("inf")
+    for rep in range(reps):
+        trace = rows_for(max(dedup_queries, 1), offset=rep * (n_rows + 1.0))
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            mq.push_batch("readings", trace)
+            seconds = time.perf_counter() - start
+        finally:
+            gc.enable()
+        best = min(best, seconds)
+        if rep == 0:
+            engine = Engine()
+            engine.create_stream("readings", schema)
+            handle = engine.query(seq_text)
+            engine.push_batch("readings", trace)
+            reference = [(tup.values, tup.ts) for tup in handle.results]
+            for sub in subs[:verify_sample]:
+                if [(tup.values, tup.ts) for tup in sub.results] != reference:
+                    raise AssertionError("dedup fan-out diverged")
+        for sub in subs:
+            sub.clear()
+    mq.close()
+    if dedup_plans != 1:
+        raise AssertionError(
+            f"{dedup_queries} identical queries produced {dedup_plans} plans"
+        )
+    report.add_experiment(
+        f"dedup-seq-{dedup_queries}",
+        n_tuples=n_rows,
+        seconds=best,
+        params={"queries": dedup_queries, "mode": "shared-dedup"},
+        shared_plans=dedup_plans,
+    )
+
+    headline = min(speedups) if speedups else None
+    report.meta["speedup_shared_vs_naive"] = (
+        speedups[headline] if headline is not None else None
+    )
+    report.meta["speedup_shared_vs_naive_by_queries"] = {
+        str(count): value for count, value in speedups.items()
+    }
+    return report
+
+
+def multi_query_speedup(report: BenchReport, queries: int) -> float | None:
+    """Shared-over-naive speedup at *queries* registered queries, if run."""
+    by_count = report.meta.get("speedup_shared_vs_naive_by_queries", {})
+    value = by_count.get(str(queries))
+    return float(value) if value is not None else None
+
+
 BENCH_RUNNERS: Mapping[str, Callable[..., BenchReport]] = {
     "sharded_scaling": run_sharded_scaling,
     "shard_transport": run_shard_transport,
     "operator_state": run_operator_state,
     "vectorized_admission": run_vectorized_admission,
     "fault_tolerance": run_fault_tolerance,
+    "multi_query": run_multi_query,
 }

@@ -167,6 +167,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "--codec", choices=("framed", "pickle"), default=None,
         help="pipe-transport payload codec (parallel executor only)",
     )
+    parser.add_argument(
+        "--queries", default=None, metavar="N[,N...]",
+        help="registered-query scales to measure (multi_query only), "
+             "e.g. --queries 1000,10000",
+    )
     return parser
 
 
@@ -186,6 +191,10 @@ def run_bench(argv: Sequence[str]) -> int:
         kwargs["executor"] = args.executor
     if args.codec is not None:
         kwargs["codec"] = args.codec
+    if args.queries is not None:
+        kwargs["query_counts"] = tuple(
+            int(part) for part in args.queries.split(",") if part
+        )
     accepted = inspect.signature(runner).parameters
     if "n_products" in kwargs and "n_products" not in accepted and "n_rows" in accepted:
         kwargs["n_rows"] = kwargs.pop("n_products")  # row-sized workloads
@@ -233,6 +242,17 @@ def run_bench(argv: Sequence[str]) -> int:
         if report.meta.get("cpu_limited"):
             line += " (cpu-limited: arms share cores, read as parity check)"
         print(line, file=sys.stderr)
+    shared = report.meta.get("speedup_shared_vs_naive")
+    if shared:
+        by_count = report.meta.get("speedup_shared_vs_naive_by_queries", {})
+        detail = ", ".join(
+            f"{count} queries: {value:.2f}x" for count, value in by_count.items()
+        )
+        print(
+            f"# shared vs naive per-query engines: {shared:.2f}x"
+            + (f" ({detail})" if detail else ""),
+            file=sys.stderr,
+        )
     vectorized = report.meta.get("speedup_vectorized_vs_scalar")
     if vectorized:
         by_sel = report.meta.get(

@@ -252,7 +252,9 @@ class _Sink:
         self.table: Table | None = None
         self.collector: Collector | None = None
         if target is None:
-            self.collector = Collector(label)
+            # Through the engine seam so the multi-query registry can
+            # substitute a fan-out collector for registered queries.
+            self.collector = engine.make_collector(label)
             # Result-row schema, for consumers that rebuild Tuples from
             # raw collected values (the sharded merge does).
             self.collector.schema = schema

@@ -1,6 +1,11 @@
 """Physical plan introspection utilities."""
 
-from .plan import PlanNode, describe_handle
+from .plan import PlanNode, describe_handle, describe_registry
 from .optimizer import optimization_report
 
-__all__ = ["PlanNode", "describe_handle", "optimization_report"]
+__all__ = [
+    "PlanNode",
+    "describe_handle",
+    "describe_registry",
+    "optimization_report",
+]

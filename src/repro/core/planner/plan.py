@@ -81,3 +81,38 @@ def describe_handle(handle: QueryHandle) -> PlanNode:
             gap = " gap-checked"
         node.add(PlanNode("StreamArg", f"{arg.stream}{star} AS {arg.alias}{gap}"))
     return root
+
+
+def describe_registry(registry: Any) -> PlanNode:
+    """Build a plan description for shared multi-query execution.
+
+    Accepts a :class:`~repro.dsms.registry.QueryRegistry` or a
+    :class:`~repro.dsms.multi_engine.MultiQueryEngine` (shared mode).
+    The tree shows the per-stream routers — which fields are
+    predicate-indexed, how many plans route residually — and each shared
+    plan's operator subtree with its subscriber fan-out count.
+    """
+    inner = getattr(registry, "registry", registry)
+    if inner is None or not hasattr(inner, "routers"):
+        return PlanNode("MultiQuery", "naive per-engine execution (unshared)")
+    root = PlanNode(
+        "MultiQuery",
+        f"{inner.subscription_count} subscriptions over "
+        f"{inner.plan_count} shared plans",
+    )
+    for router in inner.routers():
+        info = router.describe()
+        node = root.add(PlanNode("StreamRouter", f"stream={info['stream']}"))
+        for field in info["fields"]:
+            node.add(PlanNode(
+                "PredicateIndex",
+                f"field={field['field']}, eq_keys={field['eq_keys']}, "
+                f"ranges={field['range_entries']}",
+            ))
+        if info["residual"]:
+            node.add(PlanNode("ResidualScan", f"{info['residual']} plans"))
+    for plan in inner.plans():
+        subtree = describe_handle(plan.handle)
+        subtree.detail += f", fan-out x{len(plan.sinks)}"
+        root.add(subtree)
+    return root

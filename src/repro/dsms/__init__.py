@@ -30,6 +30,13 @@ from .errors import (
     WindowError,
 )
 from .merge import StampedSink, merge_runs
+from .multi_engine import MultiQueryEngine
+from .registry import (
+    FanoutCollector,
+    QueryRegistry,
+    StreamRouter,
+    Subscription,
+)
 from .schema import Field, FieldType, Schema
 from .sharding import ShardedEngine, ShardedQueryHandle, shard_of
 from .snapshot import SnapshotView
@@ -58,10 +65,13 @@ __all__ = [
     "EslRuntimeError",
     "EslSemanticError",
     "EslSyntaxError",
+    "FanoutCollector",
     "Field",
     "FieldType",
+    "MultiQueryEngine",
     "OutOfOrderError",
     "QueryHandle",
+    "QueryRegistry",
     "RangeWindowBuffer",
     "RowsWindowBuffer",
     "Schema",
@@ -73,6 +83,8 @@ __all__ = [
     "SqlUda",
     "Stream",
     "StreamRegistry",
+    "StreamRouter",
+    "Subscription",
     "Table",
     "TableRegistry",
     "Timer",

@@ -189,6 +189,11 @@ class Engine:
         self.indexed_state = indexed_state
         self.vectorized_admission = vectorized_admission
         self._query_counter = 0
+        # Slot consumed by the next _Sink the compiler builds: the
+        # multi-query registry parks a fan-out collector here so a
+        # registered query's results go to per-subscriber sinks instead
+        # of an unbounded list (see make_collector).
+        self._pending_collector: Collector | None = None
         # Checkpointable components (operators, window buffers) in compile
         # order.  Engines rebuilt from the same statements register the
         # same components in the same order, which is what lets
@@ -202,6 +207,22 @@ class Engine:
         wires; see :mod:`repro.dsms.checkpoint`.
         """
         self.checkpointables.append(component)
+
+    def make_collector(self, label: str) -> Collector:
+        """The collector a compiling query's sink should deliver to.
+
+        Normally a fresh list-backed :class:`Collector`.  When a caller
+        (the shared multi-query registry) has parked a pending collector
+        on the engine, that instance is consumed instead — a registered
+        continuous query must fan answers out to subscriber sinks rather
+        than accumulate them forever.
+        """
+        pending = self._pending_collector
+        if pending is not None:
+            self._pending_collector = None
+            pending.name = label
+            return pending
+        return Collector(label)
 
     # -- catalog --------------------------------------------------------
 

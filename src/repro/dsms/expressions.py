@@ -1041,6 +1041,250 @@ def conjoin(terms: Sequence[Expression]) -> Expression:
 
 
 # ---------------------------------------------------------------------------
+# Admission constraints (predicate-indexed query routing)
+# ---------------------------------------------------------------------------
+#
+# The shared multi-query registry (:mod:`repro.dsms.registry`) indexes
+# registered plans by the hoistable part of their admission predicates: the
+# single-alias ``column = literal`` / ``IN (literals)`` / range conjuncts a
+# tuple can be tested against *before* the plan's own callbacks run.  An
+# :class:`AdmissionConstraint` is the index key material for one alias —
+# one field plus an equality value set and/or literal ranges.  The routing
+# contract mirrors the vector-mask contract above: a constraint may
+# over-admit (the plan re-checks every delivered tuple) but must never
+# reject a tuple the plan's own predicate would accept, so extraction is
+# deliberately conservative — anything it cannot prove indexable simply
+# contributes no constraint.
+
+
+class AdmissionConstraint:
+    """One alias's indexable admission predicate on a single field.
+
+    ``values`` is a frozenset of literals the field may equal (None when
+    the constraint has no equality component — not "all values"), and
+    ``ranges`` holds ``(lo, hi, lo_incl, hi_incl)`` literal intervals with
+    None for an open end.  :meth:`admits` decides non-None field values;
+    NULL handling (strict WHERE vs lenient SEQ admission) is the router's
+    job, not the constraint's.
+    """
+
+    __slots__ = ("field", "values", "ranges")
+
+    def __init__(
+        self,
+        field: str,
+        values: frozenset | None = None,
+        ranges: Sequence[tuple] = (),
+    ) -> None:
+        self.field = field
+        self.values = values
+        self.ranges = tuple(ranges)
+
+    @property
+    def empty(self) -> bool:
+        """True when no value can ever satisfy the constraint."""
+        return not self.ranges and self.values is not None and not self.values
+
+    def admits(self, value: Any) -> bool:
+        """Whether a non-None *value* may satisfy the indexed conjuncts.
+
+        Incomparable/unhashable values admit (over-admission is safe; the
+        plan's own predicate decides, with its own error semantics).
+        """
+        try:
+            if self.values is not None and value in self.values:
+                return True
+        except TypeError:
+            return True
+        for lo, hi, lo_incl, hi_incl in self.ranges:
+            try:
+                if lo is not None and (
+                    value < lo or (not lo_incl and value == lo)
+                ):
+                    continue
+                if hi is not None and (
+                    value > hi or (not hi_incl and value == hi)
+                ):
+                    continue
+            except TypeError:
+                return True
+            return True
+        return False
+
+    def intersect(self, other: "AdmissionConstraint") -> "AdmissionConstraint":
+        """Conjunction with *other* (same field).
+
+        Exact where representable; otherwise returns ``self`` unchanged,
+        which over-admits and stays sound.
+        """
+        if self.values is not None and other.values is not None:
+            return AdmissionConstraint(self.field, self.values & other.values)
+        if self.values is not None:
+            kept = frozenset(v for v in self.values if other.admits(v))
+            return AdmissionConstraint(self.field, kept)
+        if other.values is not None:
+            kept = frozenset(v for v in other.values if self.admits(v))
+            return AdmissionConstraint(self.field, kept)
+        if len(self.ranges) == 1 and len(other.ranges) == 1:
+            merged = _intersect_ranges(self.ranges[0], other.ranges[0])
+            if merged is None:
+                return AdmissionConstraint(self.field, frozenset())
+            return AdmissionConstraint(self.field, None, (merged,))
+        return self
+
+    def union(self, other: "AdmissionConstraint") -> "AdmissionConstraint | None":
+        """Disjunction with *other*, or None when fields differ.
+
+        Used when several operator aliases read the same stream: the
+        stream-level gate must admit a tuple any alias would admit.
+        """
+        if self.field.lower() != other.field.lower():
+            return None
+        values: frozenset | None = None
+        if self.values is not None or other.values is not None:
+            values = (self.values or frozenset()) | (other.values or frozenset())
+        return AdmissionConstraint(
+            self.field, values, self.ranges + other.ranges
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.values is not None:
+            parts.append(f"{len(self.values)} values")
+        if self.ranges:
+            parts.append(f"{len(self.ranges)} ranges")
+        return f"AdmissionConstraint({self.field}: {', '.join(parts) or 'empty'})"
+
+
+def _intersect_ranges(a: tuple, b: tuple) -> tuple | None:
+    """Intersect two literal intervals; None when provably empty."""
+    lo, lo_incl = a[0], a[2]
+    try:
+        # Tighter lower bound wins; equal bounds intersect inclusivity.
+        if lo is None or (b[0] is not None and b[0] > lo):
+            lo, lo_incl = b[0], b[2]
+        elif b[0] is not None and b[0] == lo:
+            lo_incl = lo_incl and b[2]
+        hi, hi_incl = a[1], a[3]
+        if hi is None or (b[1] is not None and b[1] < hi):
+            hi, hi_incl = b[1], b[3]
+        elif b[1] is not None and b[1] == hi:
+            hi_incl = hi_incl and b[3]
+        if lo is not None and hi is not None:
+            if lo > hi or (lo == hi and not (lo_incl and hi_incl)):
+                return None
+    except TypeError:
+        return a  # incomparable bound types: keep one side (over-admits)
+    return (lo, hi, lo_incl, hi_incl)
+
+
+def _constraint_column(
+    expr: Expression, alias_key: str, allow_bare: bool
+) -> Column | None:
+    """*expr* as a Column owned by the target alias, else None."""
+    if type(expr) is not Column:
+        return None
+    if expr.alias is None:
+        return expr if allow_bare else None
+    return expr if expr.alias.lower() == alias_key else None
+
+
+_FLIPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _term_admission_constraint(
+    term: Expression, alias_key: str, allow_bare: bool
+) -> AdmissionConstraint | None:
+    """The indexable constraint one conjunct imposes, or None."""
+    if isinstance(term, BinaryOp) and term.op in ("=", "<", "<=", ">", ">="):
+        op = term.op
+        column = _constraint_column(term.left, alias_key, allow_bare)
+        literal = term.right
+        if column is None:
+            column = _constraint_column(term.right, alias_key, allow_bare)
+            literal = term.left
+            op = _FLIPPED_OPS.get(op, op)
+        if column is None or not isinstance(literal, Literal):
+            return None
+        value = literal.value
+        if value is None:
+            return None  # comparisons to NULL never index
+        if op == "=":
+            try:
+                return AdmissionConstraint(column.field, frozenset((value,)))
+            except TypeError:
+                return None
+        bounds = {
+            "<": (None, value, True, False),
+            "<=": (None, value, True, True),
+            ">": (value, None, False, True),
+            ">=": (value, None, True, True),
+        }
+        return AdmissionConstraint(column.field, None, (bounds[op],))
+    if isinstance(term, InList) and not term.negate:
+        column = _constraint_column(term.operand, alias_key, allow_bare)
+        if column is None:
+            return None
+        values = []
+        for option in term.options:
+            if not isinstance(option, Literal) or option.value is None:
+                return None  # NULL options make a failed IN lenient-pass
+            values.append(option.value)
+        try:
+            return AdmissionConstraint(column.field, frozenset(values))
+        except TypeError:
+            return None
+    if isinstance(term, Between) and not term.negate:
+        column = _constraint_column(term.operand, alias_key, allow_bare)
+        if column is None:
+            return None
+        low, high = term.low, term.high
+        if (
+            not isinstance(low, Literal) or low.value is None
+            or not isinstance(high, Literal) or high.value is None
+        ):
+            return None
+        return AdmissionConstraint(
+            column.field, None, ((low.value, high.value, True, True),)
+        )
+    return None
+
+
+def admission_constraint(
+    terms: Iterable[Expression], alias: str, allow_bare: bool = False
+) -> AdmissionConstraint | None:
+    """Fold guard *terms* into one alias's best indexable constraint.
+
+    *terms* should already be restricted to conjuncts whose column
+    references all belong to *alias* (bare references allowed only with
+    *allow_bare* — the single-source case where they can only mean the
+    stream).  Conjuncts on the same field intersect exactly; when several
+    fields are constrained the equality-bearing one wins (hash lookup
+    beats range scan).  Returns None when nothing indexable was found —
+    the plan then routes through the residual scan list.
+    """
+    alias_key = alias.lower()
+    per_field: dict[str, AdmissionConstraint] = {}
+    for term in terms:
+        constraint = _term_admission_constraint(term, alias_key, allow_bare)
+        if constraint is None:
+            continue
+        key = constraint.field.lower()
+        existing = per_field.get(key)
+        per_field[key] = (
+            constraint if existing is None else existing.intersect(constraint)
+        )
+    best: AdmissionConstraint | None = None
+    for constraint in per_field.values():
+        if constraint.values is not None:
+            if best is None or best.values is None:
+                best = constraint
+        elif best is None:
+            best = constraint
+    return best
+
+
+# ---------------------------------------------------------------------------
 # Vectorized lowering (column-batch admission)
 # ---------------------------------------------------------------------------
 #

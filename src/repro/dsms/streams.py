@@ -85,6 +85,24 @@ class Stream:
     def subscriber_count(self) -> int:
         return len(self._subscribers)
 
+    def take_subscribers(self, start: int) -> list[Subscriber]:
+        """Remove and return every subscriber registered at or after *start*.
+
+        The shared multi-query registry (:mod:`repro.dsms.registry`) uses
+        this to relocate a freshly compiled plan's callbacks behind its
+        predicate-indexed router: it snapshots :attr:`subscriber_count`
+        before compiling, then takes the appended tail.  Relative order of
+        the taken callbacks is preserved, so a router that replays them in
+        sequence delivers exactly what direct subscription would have.
+        The unsubscribers previously returned by :meth:`subscribe` remain
+        valid no-ops for taken callbacks.
+        """
+        taken = self._subscribers[start:]
+        if taken:
+            del self._subscribers[start:]
+            self._fanout = tuple(self._subscribers)
+        return taken
+
     def push(self, tup: Tuple) -> None:
         """Emit *tup* to all subscribers, enforcing timestamp order."""
         if tup.schema is not self.schema and tup.schema != self.schema:
