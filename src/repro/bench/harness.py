@@ -19,8 +19,43 @@ from __future__ import annotations
 import json
 import math
 import os
+import platform
 import time
 from typing import Any, Callable, Iterable, Mapping, Sequence
+
+
+def effective_cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def standard_meta(
+    *, execution_tier: str | None = None, **extra: Any
+) -> dict[str, Any]:
+    """The uniform meta keys every :class:`BenchReport` carries.
+
+    Runners historically hand-rolled their meta dicts and the keys
+    drifted: some emitted ``cpu_count``, some ``effective_cpu_count``,
+    some both, and none recorded which execution tier the engines ran
+    at.  Every runner now builds its meta through this helper, which
+    pins the house keys — ``effective_cpu_count`` (affinity-aware),
+    ``cpu_count`` (legacy alias, same value), ``python``, and the
+    active admission ``execution_tier`` — and merges runner-specific
+    keys on top.
+    """
+    cpus = effective_cpu_count()
+    meta: dict[str, Any] = {
+        "effective_cpu_count": cpus,
+        "cpu_count": cpus,
+        "python": platform.python_version(),
+    }
+    if execution_tier is not None:
+        meta["execution_tier"] = execution_tier
+    meta.update(extra)
+    return meta
 
 
 class ResultTable:

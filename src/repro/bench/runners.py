@@ -11,20 +11,39 @@ from __future__ import annotations
 
 import gc
 import os
-import platform
 import random
 import time
 from typing import Any, Callable, Mapping, Sequence
 
-from .harness import BenchReport, measure_latencies
+from .harness import (
+    BenchReport,
+    effective_cpu_count,
+    measure_latencies,
+    standard_meta,
+)
 
 
-def effective_cpu_count() -> int:
-    """CPUs actually available to this process (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except (AttributeError, OSError):
-        return os.cpu_count() or 1
+def active_execution_tier(
+    compile_expressions: bool = True,
+    vectorized_admission: bool = True,
+    native_admission: bool = False,
+) -> str:
+    """The admission tier an Engine with these flags actually runs at.
+
+    Mirrors :meth:`~repro.dsms.engine.Engine.execution_tier`'s
+    degradation ladder (native needs a C compiler on the host), so bench
+    metadata records what was measured, not just what was requested.
+    """
+    if native_admission:
+        from ..dsms.native import find_compiler
+
+        if find_compiler() is not None:
+            return "native"
+    if vectorized_admission:
+        return "vector"
+    if compile_expressions:
+        return "closure"
+    return "interpreted"
 
 
 def _timed_feed(
@@ -102,24 +121,23 @@ def run_sharded_scaling(
 
     report = BenchReport(
         "sharded_scaling",
-        meta={
-            "workload": "example6-quality",
-            "scaling_mode": "weak",
-            "n_products_per_shard": n_products,
-            "executor": executor,
-            "codec": codec if executor == "parallel" else None,
-            "batch_size": batch_size,
-            "reps": reps,
-            "cpu_count": cpus,
-            "cpu_limited": cpus < max(shard_counts),
-            "note": (
+        meta=standard_meta(
+            execution_tier=active_execution_tier(),
+            workload="example6-quality",
+            scaling_mode="weak",
+            n_products_per_shard=n_products,
+            executor=executor,
+            codec=codec if executor == "parallel" else None,
+            batch_size=batch_size,
+            reps=reps,
+            cpu_limited=cpus < max(shard_counts),
+            note=(
                 "weak scaling: each arm feeds n_products_per_shard * "
                 "n_shards products, so ideal scaling holds seconds flat "
                 "as shards grow; arms with n_shards > cpu_count are "
                 "tagged cpu_limited"
             ),
-            "python": platform.python_version(),
-        },
+        ),
     )
 
     baseline_seconds: float | None = None
@@ -256,24 +274,23 @@ def run_shard_transport(
 
     report = BenchReport(
         "shard_transport",
-        meta={
-            "workload": "example6-quality",
-            "scaling_mode": "weak",
-            "n_products_per_shard": n_products,
-            "batch_size": batch_size,
-            "arms": [label for label, _, _ in TRANSPORT_ARMS],
-            "reps": reps,
-            "cpu_count": cpus,
-            "cpu_limited": cpus < max(shard_counts) + 1,
-            "note": (
+        meta=standard_meta(
+            execution_tier=active_execution_tier(),
+            workload="example6-quality",
+            scaling_mode="weak",
+            n_products_per_shard=n_products,
+            batch_size=batch_size,
+            arms=[label for label, _, _ in TRANSPORT_ARMS],
+            reps=reps,
+            cpu_limited=cpus < max(shard_counts) + 1,
+            note=(
                 "transport ablation: same records, same shard engines, "
                 "different plumbing; engines are started before the "
                 "timed region for every arm alike; arms on hosts with "
                 "cpu_count < n_shards + 1 serialize onto shared cores "
                 "and are tagged cpu_limited"
             ),
-            "python": platform.python_version(),
-        },
+        ),
     )
 
     def _build(arm_executor: str, codec: str | None, n_shards: int,
@@ -478,16 +495,15 @@ def run_operator_state(
 
     report = BenchReport(
         "operator_state",
-        meta={
-            "workload": "example6-quality-rereads",
-            "n_products": n_products,
-            "rereads": rereads,
-            "window_minutes": window_minutes,
-            "n_tuples": n_tuples,
-            "reps": reps,
-            "cpu_count": effective_cpu_count(),
-            "python": platform.python_version(),
-        },
+        meta=standard_meta(
+            execution_tier=active_execution_tier(),
+            workload="example6-quality-rereads",
+            n_products=n_products,
+            rereads=rereads,
+            window_minutes=window_minutes,
+            n_tuples=n_tuples,
+            reps=reps,
+        ),
     )
 
     arms = (("naive", False), ("indexed", True))
@@ -691,23 +707,21 @@ def run_vectorized_admission(
 
     report = BenchReport(
         "vectorized_admission",
-        meta={
-            "workload": "uniform-pressure-filter",
-            "n_rows": n_rows,
-            "batch_rows": batch_rows,
-            "selectivities": list(selectivities),
-            "reps": reps,
-            "cpu_count": effective_cpu_count(),
-            "effective_cpu_count": effective_cpu_count(),
-            "note": (
+        meta=standard_meta(
+            execution_tier=active_execution_tier(),
+            workload="uniform-pressure-filter",
+            n_rows=n_rows,
+            batch_rows=batch_rows,
+            selectivities=list(selectivities),
+            reps=reps,
+            note=(
                 "single process; scalar and vectorized arms consume "
                 "identical pre-built ColumnBatches through the same "
                 "compiled filter query, differing only in the Engine's "
                 "vectorized_admission flag; the rows arm is the "
                 "per-record push_batch path for context"
             ),
-            "python": platform.python_version(),
-        },
+        ),
     )
 
     def _make(vectorized: bool, threshold: float) -> tuple[Any, Any]:
@@ -782,6 +796,320 @@ def vectorized_speedup(
 ) -> float | None:
     """Vectorized-over-scalar speedup at *selectivity*, if measured."""
     by_sel = report.meta.get("speedup_vectorized_vs_scalar_by_selectivity", {})
+    value = by_sel.get(f"{selectivity:g}")
+    return float(value) if value is not None else None
+
+
+# ---------------------------------------------------------------------------
+# native_codegen — C admission kernels vs the closure and interpreted tiers
+# ---------------------------------------------------------------------------
+
+_NATIVE_ARMS = (
+    # (label, Engine flags).  The native arm keeps the vector tier off so
+    # the measured gap is C kernel vs Python closure, not a mix; when the
+    # kernel cannot lower (or there is no compiler) it degrades to the
+    # closure path and the arm measures parity, never breakage.
+    ("interpreted", {"compile_expressions": False,
+                     "vectorized_admission": False}),
+    ("closure", {"vectorized_admission": False}),
+    ("native", {"vectorized_admission": False, "native_admission": True}),
+)
+
+
+def _native_seq_workload(
+    n_rows: int, batch_rows: int, seed: int
+) -> list[tuple[str, Any]]:
+    """Interleaved a/b ColumnBatches for the quality SEQ query.
+
+    Tag cardinality scales with size so pairing output stays linear-ish
+    and the timed region keeps measuring admission, not pair explosion.
+    """
+    from ..dsms.columns import ColumnBatch
+    from ..dsms.schema import Schema
+
+    rng = random.Random(seed)
+    tags = max(64, n_rows // 20)
+    schema_a = Schema.parse("tag_id str, v float")
+    schema_b = Schema.parse("tag_id str, w float")
+    per_stream = n_rows // 2
+    batches: list[tuple[str, Any]] = []
+    ts = 0.0
+    for start in range(0, per_stream, batch_rows):
+        count = min(batch_rows, per_stream - start)
+        a_rows = [
+            ({"tag_id": f"t{rng.randrange(tags)}", "v": rng.random()},
+             ts + index)
+            for index in range(count)
+        ]
+        b_rows = [
+            ({"tag_id": f"t{rng.randrange(tags)}", "w": rng.random()},
+             ts + count + index)
+            for index in range(count)
+        ]
+        batches.append(("a", ColumnBatch.from_rows(schema_a, a_rows)))
+        batches.append(("b", ColumnBatch.from_rows(schema_b, b_rows)))
+        ts += 2.0 * count
+    return batches
+
+
+def _native_dedup_workload(
+    n_rows: int, batch_rows: int, seed: int
+) -> list[Any]:
+    """Bursty duplicate readings for the paper's Example 1 dedup query."""
+    from ..dsms.columns import ColumnBatch
+    from ..dsms.schema import Schema
+
+    rng = random.Random(seed)
+    schema = Schema.parse("reader_id str, tag_id str, read_time float")
+    rows = []
+    ts = 0.0
+    while len(rows) < n_rows:
+        reader = f"g{rng.randrange(8)}"
+        tag = f"t{rng.randrange(500)}"
+        for _ in range(rng.randrange(1, 5)):  # in-window duplicates
+            rows.append(
+                ({"reader_id": reader, "tag_id": tag, "read_time": ts}, ts)
+            )
+            ts += 0.2
+        ts += 3.0  # gap: next burst is a fresh logical reading
+    rows = rows[:n_rows]
+    return [
+        ColumnBatch.from_rows(schema, rows[start:start + batch_rows])
+        for start in range(0, n_rows, batch_rows)
+    ]
+
+
+def run_native_codegen(
+    *,
+    n_rows: int = 100_000,
+    batch_rows: int = 512,
+    selectivities: Sequence[float] = (0.01, 0.10, 0.50),
+    seq_rows: int = 20_000,
+    dedup_rows: int = 20_000,
+    reps: int | None = None,
+    seed: int = 7,
+) -> BenchReport:
+    """Native C admission kernels vs the closure and interpreted tiers.
+
+    Three arms run every workload through identical pre-built
+    ColumnBatches; only the Engine flags differ:
+
+    * ``interpreted-*`` — no closures, no masks: the tree-walking
+      evaluator checks every materialized row.
+    * ``closure-*`` — compiled Python closures per row (the pre-columnar
+      default), no admission masks.
+    * ``native-*`` — admission predicates compiled to C kernels over the
+      raw column buffers; survivors only are materialized.  Without a C
+      compiler on the host the arm degrades to the closure path (the
+      report's ``compiler``/``execution_tier`` meta says which happened).
+
+    Workloads: the uniform-pressure filter selectivity sweep (mirroring
+    ``BENCH_vectorized_admission`` so the native and vector tiers are
+    directly comparable), the quality SEQ pairing workload (lenient
+    masks feeding a temporal operator), and the paper's Example 1
+    duplicate-filtering query — whose NOT EXISTS subquery deliberately
+    cannot lower to C, pinning the cost of the fallback chain at ~zero.
+    Every arm must produce byte-identical output or the runner raises.
+    """
+    from ..dsms.engine import Engine
+    from ..dsms.native import find_compiler
+
+    if reps is None:
+        reps = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+    selectivities = tuple(selectivities)
+    compiler = find_compiler()
+    native_tier = active_execution_tier(
+        vectorized_admission=False, native_admission=True
+    )
+
+    report = BenchReport(
+        "native_codegen",
+        meta=standard_meta(
+            execution_tier=native_tier,
+            workload="filter-sweep + quality-SEQ + example1-dedup",
+            n_rows=n_rows,
+            batch_rows=batch_rows,
+            selectivities=list(selectivities),
+            seq_rows=seq_rows,
+            dedup_rows=dedup_rows,
+            reps=reps,
+            compiler=compiler,
+            cpu_limited=effective_cpu_count() < 2,
+            note=(
+                "single process; all arms consume identical pre-built "
+                "ColumnBatches; the native arm compiles admission "
+                "predicates to C kernels (vector tier off, so the gap "
+                "is kernel vs closure); kernels compile at query "
+                "registration, outside every timed region"
+            ),
+        ),
+    )
+
+    def _timed_arms(build, feed):
+        """Interleave best-of-*reps* over the three arms; assert equal
+        output; return ``{label: (seconds, rows, engine)}``."""
+        results: dict[str, Any] = {}
+        for _ in range(reps):
+            for label, flags in _NATIVE_ARMS:
+                engine, rows_of = build(Engine(**flags))
+                gc.disable()
+                try:
+                    start = time.perf_counter()
+                    feed(engine)
+                    seconds = time.perf_counter() - start
+                finally:
+                    gc.enable()
+                rows = rows_of()
+                best = results.get(label)
+                if best is None or seconds < best[0]:
+                    results[label] = (seconds, rows, engine)
+                else:
+                    results[label] = (best[0], rows, engine)
+        reference = results["interpreted"][1]
+        for label, (_s, rows, _e) in results.items():
+            if rows != reference:
+                raise AssertionError(
+                    f"{label} output diverged "
+                    f"({len(rows)} vs {len(reference)} rows)"
+                )
+        return results
+
+    def _native_stats(engine: Any) -> dict[str, Any]:
+        state = getattr(engine, "native_state", None)
+        return state.stats() if state is not None else {}
+
+    # -- workload 1: uniform-pressure filter selectivity sweep ----------
+    _schema, batches, _rows = _admission_workload(n_rows, batch_rows, seed)
+    speedups: dict[float, float] = {}
+    for threshold in selectivities:
+        pct = f"{threshold * 100:g}pct"
+
+        def build(engine, threshold=threshold):
+            engine.create_stream("readings", _ADMISSION_SCHEMA)
+            handle = engine.query(
+                "SELECT tag_id, pressure FROM readings AS R "
+                f"WHERE R.pressure < {threshold!r}"
+            )
+            return engine, lambda: [
+                (tup.values, tup.ts) for tup in handle.results
+            ]
+
+        def feed(engine):
+            for batch in batches:
+                engine.push_columns("readings", batch)
+
+        results = _timed_arms(build, feed)
+        for label, (seconds, rows, engine) in results.items():
+            report.add_experiment(
+                f"{label}-{pct}",
+                n_tuples=n_rows,
+                seconds=seconds,
+                params={
+                    "workload": "filter",
+                    "selectivity": threshold,
+                    "tier": (
+                        native_tier if label == "native" else label
+                    ),
+                },
+                rows_admitted=len(rows),
+                native=_native_stats(engine),
+            )
+        speedups[threshold] = (
+            results["closure"][0] / results["native"][0]
+            if results["native"][0]
+            else 0.0
+        )
+
+    # -- workload 2: quality SEQ pairing (lenient masks) -----------------
+    seq_batches = _native_seq_workload(seq_rows, batch_rows, seed)
+
+    def build_seq(engine):
+        engine.create_stream("a", "tag_id str, v float")
+        engine.create_stream("b", "tag_id str, w float")
+        handle = engine.query(
+            "SELECT X.tag_id, X.v, Y.w FROM a AS X, b AS Y "
+            "WHERE SEQ(X, Y) AND X.tag_id = Y.tag_id "
+            "AND X.v < 0.3 AND Y.w > 0.6"
+        )
+        return engine, lambda: [(tup.values, tup.ts) for tup in handle.results]
+
+    def feed_seq(engine):
+        for stream, batch in seq_batches:
+            engine.push_columns(stream, batch)
+
+    seq_results = _timed_arms(build_seq, feed_seq)
+    for label, (seconds, rows, engine) in seq_results.items():
+        report.add_experiment(
+            f"{label}-seq",
+            n_tuples=seq_rows,
+            seconds=seconds,
+            params={
+                "workload": "quality-seq",
+                "tier": native_tier if label == "native" else label,
+            },
+            rows_admitted=len(rows),
+            native=_native_stats(engine),
+        )
+    seq_speedup = (
+        seq_results["closure"][0] / seq_results["native"][0]
+        if seq_results["native"][0]
+        else 0.0
+    )
+
+    # -- workload 3: Example 1 dedup (subquery -> fallback chain) --------
+    dedup_batches = _native_dedup_workload(dedup_rows, batch_rows, seed)
+
+    def build_dedup(engine):
+        engine.create_stream(
+            "readings", "reader_id str, tag_id str, read_time float"
+        )
+        engine.create_stream(
+            "cleaned_readings", "reader_id str, tag_id str, read_time float"
+        )
+        engine.query(
+            "INSERT INTO cleaned_readings "
+            "SELECT * FROM readings AS r1 "
+            "WHERE NOT EXISTS "
+            "  (SELECT * FROM TABLE( readings OVER "
+            "     (RANGE 1 SECONDS PRECEDING CURRENT)) AS r2 "
+            "   WHERE r2.reader_id = r1.reader_id "
+            "     AND r2.tag_id = r1.tag_id)"
+        )
+        sink = engine.collect("cleaned_readings")
+        return engine, lambda: [(tup.values, tup.ts) for tup in sink.results]
+
+    def feed_dedup(engine):
+        for batch in dedup_batches:
+            engine.push_columns("readings", batch)
+
+    dedup_results = _timed_arms(build_dedup, feed_dedup)
+    for label, (seconds, rows, engine) in dedup_results.items():
+        report.add_experiment(
+            f"{label}-dedup",
+            n_tuples=dedup_rows,
+            seconds=seconds,
+            params={"workload": "example1-dedup", "tier": label},
+            rows_admitted=len(rows),
+            native=_native_stats(engine),
+        )
+    dedup_speedup = (
+        dedup_results["closure"][0] / dedup_results["native"][0]
+        if dedup_results["native"][0]
+        else 0.0
+    )
+
+    report.meta["speedup_native_vs_closure"] = speedups[min(selectivities)]
+    report.meta["speedup_native_vs_closure_by_selectivity"] = {
+        f"{threshold:g}": value for threshold, value in speedups.items()
+    }
+    report.meta["speedup_native_vs_closure_seq"] = seq_speedup
+    report.meta["speedup_native_vs_closure_dedup"] = dedup_speedup
+    return report
+
+
+def native_speedup(report: BenchReport, selectivity: float) -> float | None:
+    """Native-over-closure speedup at *selectivity*, if measured."""
+    by_sel = report.meta.get("speedup_native_vs_closure_by_selectivity", {})
     value = by_sel.get(f"{selectivity:g}")
     return float(value) if value is not None else None
 
@@ -864,17 +1192,17 @@ def run_fault_tolerance(
 
     report = BenchReport(
         "fault_tolerance",
-        meta={
-            "workload": "example6-quality",
-            "n_products": n_products,
-            "n_shards": n_shards,
-            "batch_size": batch_size,
-            "checkpoint_intervals": list(checkpoint_intervals),
-            "stream_time_span_s": span,
-            "reps": reps,
-            "cpu_count": cpus,
-            "cpu_limited": cpus < n_shards + 1,
-            "note": (
+        meta=standard_meta(
+            execution_tier=active_execution_tier(),
+            workload="example6-quality",
+            n_products=n_products,
+            n_shards=n_shards,
+            batch_size=batch_size,
+            checkpoint_intervals=list(checkpoint_intervals),
+            stream_time_span_s=span,
+            reps=reps,
+            cpu_limited=cpus < n_shards + 1,
+            note=(
                 "checkpoint overhead: identical trace, fault_tolerance "
                 "and checkpoint_interval vary, zero faults injected; "
                 "recovery: one worker SIGTERMed mid-trace, latency is "
@@ -882,8 +1210,7 @@ def run_fault_tolerance(
                 "arm's merged rows must equal the single-engine "
                 "reference"
             ),
-            "python": platform.python_version(),
-        },
+        ),
     )
 
     def _build(**kwargs: Any) -> Any:
@@ -1131,23 +1458,21 @@ def run_multi_query(
 
     report = BenchReport(
         "multi_query",
-        meta={
-            "workload": "per-tag filter queries over one readings stream",
-            "query_counts": list(query_counts),
-            "n_rows": n_rows,
-            "naive_at": naive_at,
-            "reps": reps,
-            "verify_sample": verify_sample,
-            "cpu_count": effective_cpu_count(),
-            "effective_cpu_count": effective_cpu_count(),
-            "cpu_limited": False,
-            "note": (
+        meta=standard_meta(
+            execution_tier=active_execution_tier(),
+            workload="per-tag filter queries over one readings stream",
+            query_counts=list(query_counts),
+            n_rows=n_rows,
+            naive_at=naive_at,
+            reps=reps,
+            verify_sample=verify_sample,
+            cpu_limited=False,
+            note=(
                 "single process, single thread in every arm; arm seconds "
                 "are steady-state feed time only — per-query compile cost "
                 "is reported separately as register_seconds"
             ),
-            "python": platform.python_version(),
-        },
+        ),
     )
 
     def _verify(mq: Any, subs: list, count: int, trace: list) -> None:
@@ -1311,6 +1636,7 @@ BENCH_RUNNERS: Mapping[str, Callable[..., BenchReport]] = {
     "shard_transport": run_shard_transport,
     "operator_state": run_operator_state,
     "vectorized_admission": run_vectorized_admission,
+    "native_codegen": run_native_codegen,
     "fault_tolerance": run_fault_tolerance,
     "multi_query": run_multi_query,
 }

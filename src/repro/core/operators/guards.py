@@ -130,8 +130,12 @@ class CompiledGuard:
         return True
 
     def vector_admission(
-        self, alias: str, schema: Schema
-    ) -> Callable[[Any, Any, int], list | None] | None:
+        self,
+        alias: str,
+        schema: Schema,
+        native_state: Any = None,
+        allow_vector: bool = True,
+    ) -> Callable[[Any, Any, int], Any] | None:
         """A whole-batch admission mask for *alias*, or None if unavailable.
 
         Lowers every one of *alias*'s admission terms with
@@ -143,16 +147,59 @@ class CompiledGuard:
         value that is not False (True or NULL) passes; if evaluation
         raises, the closure returns None — "mask unavailable, materialize
         everything" — and the scalar re-check preserves exact semantics.
+
+        With *native_state* set (the engine's ``native_admission`` tier)
+        the same terms are first lowered to a C kernel in lenient mode
+        and the kernel is consulted per batch before the vectorized
+        closures — the native→vector→closure fallback chain, decided
+        independently per predicate and per batch.
         """
         terms = self._admission_terms.get(alias.lower())
         if not terms:
             return None
-        fns = []
-        for term in terms:
-            fn = compile_vector(term, schema, alias)
-            if fn is None:
+        native_fn = None
+        if native_state is not None:
+            from ...dsms.native import native_admission_mask
+
+            native_fn = native_admission_mask(
+                terms, schema, alias, "lenient", native_state
+            )
+        fns: list | None = None
+        if allow_vector:
+            fns = []
+            for term in terms:
+                fn = compile_vector(term, schema, alias)
+                if fn is None:
+                    fns = None
+                    break
+                fns.append(fn)
+        if fns is None:
+            if native_fn is None:
                 return None
-            fns.append(fn)
+
+            def native_only(cols: Any, tss: Any, n: int) -> Any:
+                return native_fn(cols, tss, n)
+
+            return native_only
+        if native_fn is not None:
+            vector_fns = tuple(fns)
+
+            def chained(cols: Any, tss: Any, n: int) -> Any:
+                mask = native_fn(cols, tss, n)
+                if mask is not None:
+                    return mask
+                try:
+                    out = [True] * n
+                    for fn in vector_fns:
+                        values = fn(cols, tss, n)
+                        for index in range(n):
+                            if values[index] is False:
+                                out[index] = False
+                    return out
+                except Exception:  # noqa: BLE001 - any error -> scalar path
+                    return None
+
+            return chained
         if len(fns) == 1:
             sole = fns[0]
 

@@ -218,8 +218,10 @@ class SeqOperator:
         for index, arg in enumerate(self.args):
             self._positions.setdefault(arg.stream.lower(), []).append(index)
         compiled_exec = bool(getattr(engine, "compile_expressions", False))
-        vector_exec = compiled_exec and bool(
-            getattr(engine, "vectorized_admission", False)
+        native_state = getattr(engine, "native_state", None)
+        allow_vector = bool(getattr(engine, "vectorized_admission", False))
+        vector_exec = compiled_exec and (
+            allow_vector or native_state is not None
         )
         for stream_name in list(self._positions):
             stream = engine.streams.get(stream_name)
@@ -240,7 +242,10 @@ class SeqOperator:
                     # materializing them; survivors are re-checked by the
                     # scalar admission call in the dispatch closure.
                     hook = self.guard.vector_admission(
-                        self.args[positions[0]].alias, stream.schema
+                        self.args[positions[0]].alias,
+                        stream.schema,
+                        native_state=native_state,
+                        allow_vector=allow_vector,
                     )
                     if hook is not None:
                         callback.vector_admission = hook

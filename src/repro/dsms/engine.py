@@ -170,6 +170,18 @@ class Engine:
     batch row is materialized and checked one tuple at a time — the scalar
     differential reference.  Row-at-a-time pushes are unaffected either
     way, and both paths emit byte-identical outputs.
+
+    ``native_admission`` (default off — it invokes the platform C
+    compiler at query registration) adds the top tier of the same mask
+    discipline: admission predicates are lowered from the expression IR
+    to C kernels (:mod:`repro.dsms.native_codegen`), compiled into a
+    content-hash-cached shared object, and evaluated over raw column
+    buffers.  Predicates the native tier cannot lower — or every
+    predicate, on a host with no C compiler — fall back to the
+    vectorized masks, then to the closure path; outputs are
+    byte-identical on every tier (native masks may over-admit, never
+    under-admit, and survivors are re-checked downstream).  See
+    :meth:`execution_tier` for which tier is actually active.
     """
 
     def __init__(
@@ -177,6 +189,7 @@ class Engine:
         compile_expressions: bool = True,
         indexed_state: bool = True,
         vectorized_admission: bool = True,
+        native_admission: bool = False,
     ) -> None:
         self.clock = VirtualClock()
         self.streams = StreamRegistry()
@@ -188,6 +201,16 @@ class Engine:
         self.compile_expressions = compile_expressions
         self.indexed_state = indexed_state
         self.vectorized_admission = vectorized_admission
+        self.native_admission = native_admission
+        # Per-engine native-tier state: kernel cache handles + counters.
+        # Created eagerly (it is cheap — no compiler runs until a query
+        # registers a lowerable predicate) so hook builders can count
+        # fallbacks even when every predicate stays on a lower tier.
+        self.native_state = None
+        if native_admission:
+            from .native import NativeState
+
+            self.native_state = NativeState()
         self._query_counter = 0
         # Slot consumed by the next _Sink the compiler builds: the
         # multi-query registry parks a fan-out collector here so a
@@ -223,6 +246,45 @@ class Engine:
             pending.name = label
             return pending
         return Collector(label)
+
+    def execution_tier(self) -> dict[str, Any]:
+        """Which predicate-execution tier is requested vs actually active.
+
+        ``requested`` reflects the constructor flags (highest enabled
+        tier); ``active`` degrades along the native→vector→closure→
+        interpreted fallback chain when the native tier is requested but
+        no C compiler is available on this host.  When the native tier
+        is on, ``native`` carries its counter snapshot (kernels built,
+        cache hits, per-predicate and per-batch fallbacks) and
+        ``compiler``/``cache_dir`` say where code comes from and goes.
+        """
+        if self.native_admission:
+            requested = "native"
+        elif self.vectorized_admission:
+            requested = "vector"
+        elif self.compile_expressions:
+            requested = "closure"
+        else:
+            requested = "interpreted"
+        active = requested
+        info: dict[str, Any] = {"requested": requested}
+        if self.native_admission:
+            from .native import find_compiler
+
+            compiler = find_compiler()
+            if compiler is None:
+                if self.vectorized_admission:
+                    active = "vector"
+                elif self.compile_expressions:
+                    active = "closure"
+                else:
+                    active = "interpreted"
+            info["compiler"] = compiler
+        if self.native_state is not None:
+            info["cache_dir"] = str(self.native_state.cache_dir)
+            info["native"] = self.native_state.stats()
+        info["active"] = active
+        return info
 
     # -- catalog --------------------------------------------------------
 
@@ -332,7 +394,9 @@ class Engine:
         """
         stream = self.streams.get(stream_name)
         return stream.push_columns(
-            batch, self.clock.advance_if_due, self.vectorized_admission
+            batch,
+            self.clock.advance_if_due,
+            self.vectorized_admission or self.native_admission,
         )
 
     def run_trace(

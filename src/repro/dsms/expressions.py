@@ -815,6 +815,13 @@ class InList(Expression):
         return f"InList({self.operand!r} {word} {list(self.options)!r})"
 
 
+# Module-level LIKE pattern memo: every lowering tier (eval, closure,
+# vector, native) funnels through Like._regex, so identical patterns —
+# common when the same EPC prefix appears in many registered queries —
+# compile exactly once per process rather than once per Like node.
+_LIKE_REGEX_MEMO: dict[str, Any] = {}
+
+
 class Like(Expression):
     """SQL ``LIKE`` with ``%`` and ``_`` wildcards (used for EPC prefixes)."""
 
@@ -830,14 +837,17 @@ class Like(Expression):
 
     @staticmethod
     def _regex(pattern: str) -> Any:
-        return re.compile(
-            "".join(
-                ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
-                for ch in pattern
+        compiled = _LIKE_REGEX_MEMO.get(pattern)
+        if compiled is None:
+            compiled = _LIKE_REGEX_MEMO[pattern] = re.compile(
+                "".join(
+                    ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+                    for ch in pattern
+                )
+                + r"\Z",
+                re.DOTALL,
             )
-            + r"\Z",
-            re.DOTALL,
-        )
+        return compiled
 
     def eval(self, env: Env) -> bool | None:
         value = self.operand.eval(env)

@@ -51,12 +51,14 @@ class MultiQueryEngine:
         compile_expressions: bool = True,
         indexed_state: bool = True,
         vectorized_admission: bool = True,
+        native_admission: bool = False,
     ) -> None:
         self.shared_execution = shared_execution
         self._flags = {
             "compile_expressions": compile_expressions,
             "indexed_state": indexed_state,
             "vectorized_admission": vectorized_admission,
+            "native_admission": native_admission,
         }
         #: The catalog engine.  Shared mode also executes here; naive mode
         #: uses it only for validation and as the DDL template.
@@ -257,6 +259,15 @@ class MultiQueryEngine:
                 if operator is not None:
                     total += operator.state_size
         return total
+
+    def execution_tier(self) -> dict[str, Any]:
+        """Admission execution tier of the underlying engine(s).
+
+        All engines (catalog, shared, per-query naive) are built from the
+        same flag set, so the catalog engine's tier report speaks for
+        every one of them.
+        """
+        return self.engine.execution_tier()
 
     def stats(self) -> dict[str, Any]:
         if self.registry is not None:

@@ -151,7 +151,7 @@ class ShardSpec:
 
     __slots__ = (
         "ops", "sinks", "compile_expressions", "indexed_state",
-        "vectorized_admission", "stream_table",
+        "vectorized_admission", "native_admission", "stream_table",
     )
 
     def __init__(
@@ -162,12 +162,14 @@ class ShardSpec:
         indexed_state: bool = True,
         stream_table: Sequence[tuple[str, Schema]] = (),
         vectorized_admission: bool = True,
+        native_admission: bool = False,
     ) -> None:
         self.ops = list(ops)
         self.sinks = list(sinks)
         self.compile_expressions = compile_expressions
         self.indexed_state = indexed_state
         self.vectorized_admission = vectorized_admission
+        self.native_admission = native_admission
         self.stream_table = tuple(stream_table)
 
 
@@ -187,6 +189,7 @@ class _ShardRuntime:
             compile_expressions=spec.compile_expressions,
             indexed_state=spec.indexed_state,
             vectorized_admission=spec.vectorized_admission,
+            native_admission=getattr(spec, "native_admission", False),
         )
         self.handles: dict[str, QueryHandle] = {}
         for op in spec.ops:
@@ -249,7 +252,7 @@ class _ShardRuntime:
         strm.push_columns(
             batch,
             self._advance_if_due,
-            self.engine.vectorized_admission,
+            self.engine.vectorized_admission or self.engine.native_admission,
             on_row=lambda index: drain(gs[index]),
         )
 
@@ -342,6 +345,26 @@ class _SerialExecutor:
             if index == shard:
                 runtime.ingest(g, stream, values, ts)
             else:
+                runtime.advance(g, ts)
+
+    def route_columns(
+        self,
+        entries: Sequence[tuple[int, Sequence[int], str, Any]],
+        advance_to: tuple[int, float] | None,
+    ) -> None:
+        """Apply pre-split column batches synchronously, still packed.
+
+        Mirrors the pipe worker's COLBATCH handling: each target shard
+        ingests its sub-batch columnar (per-row ``g`` stamps via the
+        ``gs`` list), then every shard — touched or not — receives the
+        epoch-boundary clock heartbeat.  ``advance`` is monotone-clamped,
+        so re-advancing a shard that just ingested is a no-op.
+        """
+        for shard, gs, stream, batch in entries:
+            self._runtimes[shard].ingest_columns(gs, stream, batch)
+        if advance_to is not None:
+            g, ts = advance_to
+            for runtime in self._runtimes:
                 runtime.advance(g, ts)
 
     def broadcast_one(self, g: int, stream: str, values: Any, ts: float) -> None:
@@ -1224,6 +1247,11 @@ class ShardedEngine:
             batches handed over via :meth:`push_columns` evaluate
             admission masks over whole columns and materialize survivors
             only (see :class:`~repro.dsms.engine.Engine`).
+        native_admission: forwarded to every inner Engine — admission
+            predicates additionally compile to native C kernels where
+            the platform has a C compiler, falling back to the
+            vectorized/closure tiers otherwise (see
+            :class:`~repro.dsms.engine.Engine`).
         batch_size: records buffered per shard before a parallel hand-off
             (the adaptive controller's starting point under ``parallel``).
         codec: pipe-transport payload encoding, ``'framed'`` (columnar
@@ -1268,6 +1296,7 @@ class ShardedEngine:
         compile_expressions: bool = True,
         indexed_state: bool = True,
         vectorized_admission: bool = True,
+        native_admission: bool = False,
         batch_size: int = 2048,
         codec: str = "framed",
         start_method: str | None = None,
@@ -1332,6 +1361,7 @@ class ShardedEngine:
         self.compile_expressions = compile_expressions
         self.indexed_state = indexed_state
         self.vectorized_admission = vectorized_admission
+        self.native_admission = native_admission
         self.shard_by = {
             name.lower(): field.lower() for name, field in (shard_by or {}).items()
         }
@@ -1616,7 +1646,7 @@ class ShardedEngine:
         )
         spec = ShardSpec(
             self._ops, sinks, self.compile_expressions, self.indexed_state,
-            stream_table, self.vectorized_admission,
+            stream_table, self.vectorized_admission, self.native_admission,
         )
         if self.executor_kind == "serial":
             self._executor = _SerialExecutor(spec, self.n_shards)
@@ -1729,8 +1759,9 @@ class ShardedEngine:
         executor = self._executor
         route_columns = getattr(executor, "route_columns", None)
         if route_columns is None:
-            # Reference executors (serial/futures) interleave shards per
-            # record; replay the batch row by row for exact stamps.
+            # Executors without a columnar path (futures) interleave
+            # shards per record; replay the batch row by row for exact
+            # stamps.
             push = self.push
             for values, ts in batch.rows():
                 push(stream_name, values, ts)
@@ -1899,6 +1930,40 @@ class ShardedEngine:
             "per_shard": per_shard,
             "totals": totals,
         }
+
+    def execution_tier(self) -> dict[str, Any]:
+        """The admission execution tier the inner engines run at.
+
+        Computed from the configured flags and compiler availability on
+        this host — the same degradation ladder as
+        :meth:`~repro.dsms.engine.Engine.execution_tier` (native →
+        vector → closure → interpreted).  Per-shard native counters live
+        inside the worker processes and are not aggregated here.
+        """
+        if self.native_admission:
+            requested = "native"
+        elif self.vectorized_admission:
+            requested = "vector"
+        elif self.compile_expressions:
+            requested = "closure"
+        else:
+            requested = "interpreted"
+        active = requested
+        info: dict[str, Any] = {"requested": requested}
+        if self.native_admission:
+            from .native import find_compiler
+
+            compiler = find_compiler()
+            if compiler is None:
+                if self.vectorized_admission:
+                    active = "vector"
+                elif self.compile_expressions:
+                    active = "closure"
+                else:
+                    active = "interpreted"
+            info["compiler"] = compiler
+        info["active"] = active
+        return info
 
     def alive_workers(self) -> int:
         """Worker processes still running (always 0 for the serial

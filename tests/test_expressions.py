@@ -204,6 +204,15 @@ class TestLike:
         assert expr.eval(env_with(tagid="a%")) is True
         assert expr.eval(env_with(tagid="z%")) is False
 
+    def test_pattern_memoized_across_nodes(self):
+        # The module-level memo means two Like nodes (e.g. the same EPC
+        # prefix in two registered queries) share one compiled regex.
+        assert Like._regex("20.%.5001") is Like._regex("20.%.5001")
+        first = Like(Literal("20.1.5001"), Literal("20.%.5001"))
+        second = Like(Literal("20.2.5001"), Literal("20.%.5001"))
+        assert first.eval(Env()) is True and second.eval(Env()) is True
+        assert first._compiled[1] is second._compiled[1]
+
 
 class TestFunctionsAndCase:
     def test_function_call(self):

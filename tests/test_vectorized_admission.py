@@ -406,8 +406,52 @@ class TestShardedColumnar:
             run(True, executor="parallel", vectorized_admission=False)
             == reference
         )
-        # Serial executors take the per-row fallback for ColumnBatch input.
+        # The serial executor now routes batches columnar too, mirroring
+        # the pipe worker's COLBATCH epoch semantics.
         assert run(True, executor="serial") == reference
+
+    def test_serial_columnar_takes_batch_path(self):
+        """Serial ``push_columns`` goes through the executor's columnar
+        route — never the per-row ``push`` fallback — and matches the
+        per-row reference exactly, including clock-heartbeat timing for
+        untouched shards."""
+        from repro.dsms.sharding import ShardedEngine, _SerialExecutor
+
+        assert hasattr(_SerialExecutor, "route_columns")
+
+        def build():
+            sharded = ShardedEngine(n_shards=3, executor="serial")
+            sharded.create_stream("readings", "tag_id int, pressure float")
+            handle = sharded.query(
+                "SELECT tag_id, pressure FROM readings AS R "
+                "WHERE R.pressure < 0.4"
+            )
+            sharded.start()
+            return sharded, handle
+
+        rows = [
+            ({"tag_id": i, "pressure": (i * 37 % 100) / 100.0}, float(i))
+            for i in range(300)
+        ]
+
+        ref_engine, ref_handle = build()
+        for values, ts in rows:
+            ref_engine.push("readings", values, ts)
+        ref_engine.flush()
+        reference = [(t.values, t.ts) for t in ref_handle.results]
+        ref_engine.close()
+
+        col_engine, col_handle = build()
+        col_engine.push = None  # any per-row fallback would blow up here
+        schema = col_engine.catalog.streams.get("readings").schema
+        for start in range(0, len(rows), 64):
+            col_engine.push_columns(
+                "readings",
+                ColumnBatch.from_rows(schema, rows[start:start + 64]),
+            )
+        col_engine.flush()
+        assert [(t.values, t.ts) for t in col_handle.results] == reference
+        col_engine.close()
 
 
 class TestColumnBatch:
