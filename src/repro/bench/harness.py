@@ -33,7 +33,10 @@ def effective_cpu_count() -> int:
 
 
 def standard_meta(
-    *, execution_tier: str | None = None, **extra: Any
+    *,
+    execution_tier: str | None = None,
+    pairing_tier: str | None = None,
+    **extra: Any,
 ) -> dict[str, Any]:
     """The uniform meta keys every :class:`BenchReport` carries.
 
@@ -42,9 +45,10 @@ def standard_meta(
     some both, and none recorded which execution tier the engines ran
     at.  Every runner now builds its meta through this helper, which
     pins the house keys — ``effective_cpu_count`` (affinity-aware),
-    ``cpu_count`` (legacy alias, same value), ``python``, and the
-    active admission ``execution_tier`` — and merges runner-specific
-    keys on top.
+    ``cpu_count`` (legacy alias, same value), ``python``, the active
+    admission ``execution_tier``, and the active ``pairing_tier`` (the
+    SEQ match-enumeration mask tier, which shares admission's ladder)
+    — and merges runner-specific keys on top.
     """
     cpus = effective_cpu_count()
     meta: dict[str, Any] = {
@@ -54,6 +58,8 @@ def standard_meta(
     }
     if execution_tier is not None:
         meta["execution_tier"] = execution_tier
+    if pairing_tier is not None:
+        meta["pairing_tier"] = pairing_tier
     meta.update(extra)
     return meta
 

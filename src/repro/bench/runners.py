@@ -123,6 +123,7 @@ def run_sharded_scaling(
         "sharded_scaling",
         meta=standard_meta(
             execution_tier=active_execution_tier(),
+            pairing_tier=active_execution_tier(),
             workload="example6-quality",
             scaling_mode="weak",
             n_products_per_shard=n_products,
@@ -276,6 +277,7 @@ def run_shard_transport(
         "shard_transport",
         meta=standard_meta(
             execution_tier=active_execution_tier(),
+            pairing_tier=active_execution_tier(),
             workload="example6-quality",
             scaling_mode="weak",
             n_products_per_shard=n_products,
@@ -497,6 +499,7 @@ def run_operator_state(
         "operator_state",
         meta=standard_meta(
             execution_tier=active_execution_tier(),
+            pairing_tier=active_execution_tier(),
             workload="example6-quality-rereads",
             n_products=n_products,
             rereads=rereads,
@@ -709,6 +712,7 @@ def run_vectorized_admission(
         "vectorized_admission",
         meta=standard_meta(
             execution_tier=active_execution_tier(),
+            pairing_tier=active_execution_tier(),
             workload="uniform-pressure-filter",
             n_rows=n_rows,
             batch_rows=batch_rows,
@@ -926,6 +930,7 @@ def run_native_codegen(
         "native_codegen",
         meta=standard_meta(
             execution_tier=native_tier,
+            pairing_tier=native_tier,
             workload="filter-sweep + quality-SEQ + example1-dedup",
             n_rows=n_rows,
             batch_rows=batch_rows,
@@ -1115,6 +1120,192 @@ def native_speedup(report: BenchReport, selectivity: float) -> float | None:
 
 
 # ---------------------------------------------------------------------------
+# pairing_kernels — vectorized/native masks on the SEQ match-enumeration path
+# ---------------------------------------------------------------------------
+
+_PAIRING_ARMS = (
+    # (label, Engine flags).  The interpreted arm is the byte-identity
+    # reference; "scalar" is the compiled-closure pairing loop (the
+    # pre-mask hot path); "vector" adds the Python columnar stage masks;
+    # "native" runs the two-operand C pairing kernels with the vector
+    # tier off, so its gap is kernel vs scalar, not a mix.
+    ("interpreted", {"compile_expressions": False,
+                     "vectorized_admission": False}),
+    ("scalar", {"vectorized_admission": False}),
+    ("vector", {"vectorized_admission": True}),
+    ("native", {"vectorized_admission": False, "native_admission": True}),
+)
+
+
+def _pairing_seq_workload(
+    n_rows: int, batch_rows: int, rereads: int, tags: int, seed: int
+) -> list[tuple[str, Any]]:
+    """Dense re-read quality-SEQ trace: interleaved a/b ColumnBatches.
+
+    Every logical reading is emitted *rereads* times (the RFID re-read
+    burst of a tag sitting on a checkpoint reader) and tag cardinality
+    is kept low, so each partition's history — and therefore every
+    anchor's candidate slice — grows long enough that match enumeration,
+    not admission, dominates the run.
+    """
+    from ..dsms.columns import ColumnBatch
+    from ..dsms.schema import Schema
+
+    rng = random.Random(seed)
+    schema_a = Schema.parse("tag_id str, v float")
+    schema_b = Schema.parse("tag_id str, w float")
+    per_stream = n_rows // 2
+    batches: list[tuple[str, Any]] = []
+    ts = 0.0
+    remaining = per_stream
+    while remaining:
+        count = min(batch_rows, remaining)
+        block: dict[str, list[tuple[dict, float]]] = {"a": [], "b": []}
+        for stream, field in (("a", "v"), ("b", "w")):
+            rows = block[stream]
+            while len(rows) < count:
+                tag = f"t{rng.randrange(tags)}"
+                base = rng.random()
+                for _ in range(min(rereads, count - len(rows))):
+                    # Re-reads jitter the measured value slightly, as a
+                    # real reader would; timestamps stay strictly
+                    # increasing across the whole trace (the a-block
+                    # precedes its b-block, matching the push order).
+                    value = min(1.0, base + rng.random() * 0.02)
+                    rows.append(({"tag_id": tag, field: value}, ts))
+                    ts += 1.0
+        batches.append(("a", ColumnBatch.from_rows(schema_a, block["a"])))
+        batches.append(("b", ColumnBatch.from_rows(schema_b, block["b"])))
+        remaining -= count
+    return batches
+
+
+def run_pairing_kernels(
+    *,
+    n_rows: int = 20_000,
+    batch_rows: int = 512,
+    rereads: int = 3,
+    tags: int = 8,
+    window_s: float = 2_000.0,
+    threshold: float = 0.85,
+    reps: int | None = None,
+    seed: int = 11,
+) -> BenchReport:
+    """Pairing-mask tiers on the SEQ match-enumeration hot path.
+
+    All four arms consume identical pre-built ColumnBatches through the
+    same windowed quality-SEQ query; only the Engine flags differ.  The
+    query hash-partitions on the tag equality, leaving ``Y.w - X.v >
+    threshold`` as the sole cross conjunct — deliberately *not*
+    hoistable to admission, so every arm pays for it at pairing time:
+    the scalar arm once per candidate (dict store + closure tree per
+    row), the vector arm once per anchor as a columnar mask over the
+    partition's history mirror, the native arm as a two-operand C
+    kernel over the mirror's packed buffers.  Masks only prune;
+    survivors re-run the scalar check, and every arm must produce the
+    interpreted arm's rows byte-identically or the runner raises.
+    """
+    from ..dsms.engine import Engine
+    from ..dsms.native import find_compiler
+
+    if reps is None:
+        reps = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+    compiler = find_compiler()
+    native_tier = active_execution_tier(
+        vectorized_admission=False, native_admission=True
+    )
+
+    report = BenchReport(
+        "pairing_kernels",
+        meta=standard_meta(
+            execution_tier=active_execution_tier(),
+            pairing_tier=native_tier,
+            workload="dense-reread-quality-seq",
+            n_rows=n_rows,
+            batch_rows=batch_rows,
+            rereads=rereads,
+            tags=tags,
+            window_s=window_s,
+            threshold=threshold,
+            reps=reps,
+            compiler=compiler,
+            cpu_limited=effective_cpu_count() < 2,
+            note=(
+                "single process; all arms consume identical pre-built "
+                "ColumnBatches; the cross conjunct cannot hoist to "
+                "admission, so the measured gap is the pairing loop "
+                "itself; pairing kernels compile at query registration, "
+                "outside every timed region"
+            ),
+        ),
+    )
+
+    batches = _pairing_seq_workload(n_rows, batch_rows, rereads, tags, seed)
+    query = (
+        "SELECT X.tag_id, X.v, Y.w FROM a AS X, b AS Y "
+        f"WHERE SEQ(X, Y) OVER [{window_s:g} SECONDS PRECEDING Y] "
+        "AND X.tag_id = Y.tag_id "
+        f"AND Y.w - X.v > {threshold!r}"
+    )
+
+    results: dict[str, Any] = {}
+    for _ in range(reps):
+        for label, flags in _PAIRING_ARMS:
+            engine = Engine(**flags)
+            engine.create_stream("a", "tag_id str, v float")
+            engine.create_stream("b", "tag_id str, w float")
+            handle = engine.query(query)
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                for stream, batch in batches:
+                    engine.push_columns(stream, batch)
+                seconds = time.perf_counter() - start
+            finally:
+                gc.enable()
+            rows = [(tup.values, tup.ts) for tup in handle.results]
+            best = results.get(label)
+            if best is None or seconds < best[0]:
+                results[label] = (seconds, rows, engine)
+            else:
+                results[label] = (best[0], rows, engine)
+    reference = results["interpreted"][1]
+    for label, (_s, rows, _e) in results.items():
+        if rows != reference:
+            raise AssertionError(
+                f"{label} output diverged "
+                f"({len(rows)} vs {len(reference)} rows)"
+            )
+    for label, (seconds, rows, engine) in results.items():
+        state = getattr(engine, "native_state", None)
+        report.add_experiment(
+            f"{label}-pairing",
+            n_tuples=n_rows,
+            seconds=seconds,
+            params={
+                "workload": "dense-reread-quality-seq",
+                "tier": native_tier if label == "native" else label,
+            },
+            rows_admitted=len(rows),
+            native=state.stats() if state is not None else {},
+        )
+    scalar_s = results["scalar"][0]
+    report.meta["speedup_vector_vs_scalar_pairing"] = (
+        scalar_s / results["vector"][0] if results["vector"][0] else 0.0
+    )
+    report.meta["speedup_native_vs_scalar_pairing"] = (
+        scalar_s / results["native"][0] if results["native"][0] else 0.0
+    )
+    return report
+
+
+def pairing_speedup(report: BenchReport, arm: str) -> float | None:
+    """Pairing speedup of *arm* ("vector" or "native") over scalar."""
+    value = report.meta.get(f"speedup_{arm}_vs_scalar_pairing")
+    return float(value) if value is not None else None
+
+
+# ---------------------------------------------------------------------------
 # fault_tolerance — checkpoint overhead and crash-recovery latency
 # ---------------------------------------------------------------------------
 
@@ -1194,6 +1385,7 @@ def run_fault_tolerance(
         "fault_tolerance",
         meta=standard_meta(
             execution_tier=active_execution_tier(),
+            pairing_tier=active_execution_tier(),
             workload="example6-quality",
             n_products=n_products,
             n_shards=n_shards,
@@ -1460,6 +1652,7 @@ def run_multi_query(
         "multi_query",
         meta=standard_meta(
             execution_tier=active_execution_tier(),
+            pairing_tier=active_execution_tier(),
             workload="per-tag filter queries over one readings stream",
             query_counts=list(query_counts),
             n_rows=n_rows,
@@ -1637,6 +1830,7 @@ BENCH_RUNNERS: Mapping[str, Callable[..., BenchReport]] = {
     "operator_state": run_operator_state,
     "vectorized_admission": run_vectorized_admission,
     "native_codegen": run_native_codegen,
+    "pairing_kernels": run_pairing_kernels,
     "fault_tolerance": run_fault_tolerance,
     "multi_query": run_multi_query,
 }

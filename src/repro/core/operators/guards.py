@@ -37,6 +37,7 @@ from ...dsms.expressions import (
     Env,
     EvalFn,
     Expression,
+    compile_pairing_vector,
     compile_vector,
 )
 from ...dsms.schema import Schema
@@ -88,7 +89,10 @@ class CompiledGuard:
     members all passed admission.
     """
 
-    __slots__ = ("_admission", "_cross", "_env", "_admission_terms", "aliases")
+    __slots__ = (
+        "_admission", "_cross", "_env", "_admission_terms",
+        "_cross_terms", "_ctx", "aliases",
+    )
 
     def __init__(
         self,
@@ -96,6 +100,8 @@ class CompiledGuard:
         cross: Sequence[Callable[[Env], bool]],
         env: Env,
         admission_terms: Mapping[str, Sequence[Expression]] | None = None,
+        cross_terms: Sequence[tuple[Expression, frozenset | None]] | None = None,
+        ctx: CompileContext | None = None,
     ) -> None:
         self._admission = {alias.lower(): tuple(fns) for alias, fns in admission.items()}
         self._cross = tuple(cross)
@@ -110,6 +116,11 @@ class CompiledGuard:
             alias.lower(): tuple(terms)
             for alias, terms in (admission_terms or {}).items()
         }
+        # Cross-term IR with the (lower-cased) alias sets each references,
+        # kept for the pairing mask tiers (None = indeterminate — bare
+        # references — never maskable).
+        self._cross_terms = tuple(cross_terms or ())
+        self._ctx = ctx
         self.aliases = frozenset(self._admission)
 
     @property
@@ -236,6 +247,118 @@ class CompiledGuard:
                 return False
         return True
 
+    def pairing_prebound(self, bindings: Mapping[str, Any]) -> bool:
+        """:meth:`pairing` for bindings whose keys are already lower-cased.
+
+        The indexed SEQ enumeration keeps one scratch bindings dict (keyed
+        by lower-cased alias) alive across all candidates of a scan, so
+        the per-candidate dict rebuild of :meth:`pairing` vanishes from
+        the hot loop; the env is simply repointed at the scratch mapping.
+        """
+        if not self._cross:
+            return True
+        env = self._env
+        env.bindings = bindings  # type: ignore[assignment]
+        for fn in self._cross:
+            if not fn(env):
+                return False
+        return True
+
+    def vector_pairing(
+        self,
+        alias: str,
+        schema: Schema,
+        bound_aliases: Iterable[str],
+        native_state: Any = None,
+        allow_vector: bool = True,
+    ) -> "tuple[Callable[[Any, Any, int], Any], tuple] | None":
+        """A candidate-slice pairing mask for one chain stage, or None.
+
+        *alias* is the stage whose history is scanned, *bound_aliases*
+        the stages already bound whenever that scan runs (for SEQ's
+        right-to-left enumeration: every later argument).  A cross term
+        is stage-decidable when it references *alias* and only otherwise
+        bound aliases; the decidable terms lower to the native tier (a
+        two-operand C kernel over the mirror's packed buffers) and/or the
+        vectorized tier (:func:`compile_pairing_vector` closures over the
+        mirror's object columns) — each tier independently keeping the
+        subset of terms it can express, since every mask survivor is
+        re-checked by the scalar :meth:`pairing` anyway.
+
+        Returns ``(mask_fn, packed_slots)`` where ``mask_fn(bindings,
+        store, n)`` maps the live (lower-cased) bindings and a
+        :class:`~repro.dsms.columns.ColumnStore` prefix to a 0/1-ish mask
+        (False/0 rows are guaranteed scalar-rejected) or None for "no
+        mask this call"; ``packed_slots`` are the column buffers the
+        native kernel needs the stage's mirrors to maintain (empty when
+        native is off).  Returns None when no term is maskable at all.
+        """
+        if self._ctx is None or not self._cross_terms:
+            return None
+        cand = alias.lower()
+        bound = {name.lower() for name in bound_aliases}
+        known = bound | {cand}
+        decidable = [
+            term
+            for term, refs in self._cross_terms
+            if refs is not None and cand in refs and refs <= known
+        ]
+        if not decidable:
+            return None
+        native_fn = None
+        packed_slots: tuple = ()
+        if native_state is not None:
+            from ...dsms.native import native_pairing_mask
+
+            outer_schemas = {
+                name: self._ctx.schemas[name]
+                for name in bound
+                if name in self._ctx.schemas
+            }
+            lowered = native_pairing_mask(
+                decidable, schema, alias, outer_schemas, native_state
+            )
+            if lowered is not None:
+                native_fn, spec = lowered
+                packed_slots = spec.slots
+        vector_fns: tuple | None = None
+        if allow_vector:
+            fns = [
+                fn
+                for fn in (
+                    compile_pairing_vector(term, schema, alias, self._ctx, bound)
+                    for term in decidable
+                )
+                if fn is not None
+            ]
+            vector_fns = tuple(fns) if fns else None
+        if native_fn is None and vector_fns is None:
+            return None
+        env = self._env
+
+        def stage_mask(bindings: Any, store: Any, n: int) -> Any:
+            if native_fn is not None:
+                mask = native_fn(bindings, store, n)
+                if mask is not None:
+                    return mask
+            if vector_fns is None:
+                return None
+            try:
+                env.bindings = bindings
+                out = [True] * n
+                cols = store.columns
+                tss = store.timestamps
+                for fn in vector_fns:
+                    values = fn(env, cols, tss, n)
+                    for index in range(n):
+                        if values[index] is False:
+                            out[index] = False
+                return out
+            except Exception:  # noqa: BLE001 - any error -> scalar path
+                return None
+
+        return stage_mask, packed_slots
+
     def __call__(self, bindings: Mapping[str, Any]) -> bool:
         """Full lenient conjunction — the plain :data:`Guard` contract."""
         env = self._env
@@ -261,6 +384,7 @@ def build_compiled_guard(
     admission: dict[str, list[Callable[[Env], bool]]] = {}
     admission_terms: dict[str, list[Expression]] = {}
     cross: list[Callable[[Env], bool]] = []
+    cross_terms: list[tuple[Expression, frozenset | None]] = []
     for term in terms:
         fn = _lenient(term.compile(ctx))
         aliases = _term_aliases(term, known)
@@ -270,6 +394,10 @@ def build_compiled_guard(
             admission_terms.setdefault(alias, []).append(term)
         else:
             cross.append(fn)
+            cross_terms.append(
+                (term, frozenset(aliases) if aliases is not None else None)
+            )
     return CompiledGuard(
-        admission, cross, Env(functions=ctx.functions), admission_terms
+        admission, cross, Env(functions=ctx.functions), admission_terms,
+        cross_terms, ctx,
     )

@@ -62,6 +62,7 @@ from operator import attrgetter
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ...dsms.checkpoint import pack_tuple, tuple_unpacker
+from ...dsms.columns import ColumnStore
 from ...dsms.engine import Engine
 from ...dsms.errors import CheckpointError, EslSemanticError
 from ...dsms.tuples import Tuple
@@ -78,13 +79,24 @@ from .guards import CompiledGuard
 
 _TS = attrgetter("ts")
 
+# Candidate slices shorter than this skip the pairing mask: a mask call
+# has fixed costs (anchor packing, ctypes marshalling or closure setup)
+# that only amortize over enough rows.
+_MASK_MIN = 8
+
 
 class _Partition:
     """Per-partition-key operator state."""
 
-    __slots__ = ("key", "histories", "run", "cuts", "removed")
+    __slots__ = ("key", "histories", "run", "cuts", "removed", "mirrors")
 
-    def __init__(self, n: int, key: Any = None, track_cuts: bool = False) -> None:
+    def __init__(
+        self,
+        n: int,
+        key: Any = None,
+        track_cuts: bool = False,
+        mirror_specs: Sequence[Any] | None = None,
+    ) -> None:
         self.key = key
         # Positions 0..n-2 keep history; the last position's tuples are only
         # ever anchors and are matched immediately on arrival.
@@ -97,6 +109,18 @@ class _Partition:
             [[] for _ in range(n - 1)] if track_cuts else None
         )
         self.removed: list[int] = [0] * (n - 1)
+        # Columnar mirrors of the histories, parallel to them, maintained
+        # only for stages the operator's pairing-mask plan covers (None
+        # entries are plan-less stages).  Derived state: never
+        # checkpointed, rebuilt from histories on restore.
+        self.mirrors: list[ColumnStore | None] | None = (
+            None
+            if mirror_specs is None
+            else [
+                None if spec is None else ColumnStore(spec[0], spec[1])
+                for spec in mirror_specs
+            ]
+        )
 
     def state_size(self) -> int:
         return sum(len(history) for history in self.histories) + len(self.run)
@@ -151,12 +175,17 @@ class SeqOperator:
         # pairing time, as before.
         if isinstance(guard, CompiledGuard):
             self._admission = guard.admit
+            # pairing_prebound skips the per-call key-lowering dictcomp;
+            # in exchange every enumeration path keys its scratch bindings
+            # dict by _bind_keys (lower-cased aliases) below.
             self._pairing: Guard | None = (
-                None if guard.cross_free else guard.pairing
+                None if guard.cross_free else guard.pairing_prebound
             )
+            self._bind_keys = tuple(arg.alias.lower() for arg in self.args)
         else:
             self._admission = None
             self._pairing = guard
+            self._bind_keys = tuple(arg.alias for arg in self.args)
         # Purging is sound when nothing can disqualify a tuple at pairing
         # time: no guard at all, or a compiled guard whose conjuncts were all
         # decided at admission (cross_free).
@@ -223,6 +252,50 @@ class SeqOperator:
         vector_exec = compiled_exec and (
             allow_vector or native_state is not None
         )
+        # Pairing-mask plan: one candidate-slice mask per chain stage.
+        # Stage *index* scans histories[index] while aliases index+1..n-1
+        # are already bound (SEQ enumerates right to left), so each
+        # stage's decidable cross conjuncts lower against that bound set
+        # — to a two-operand native kernel over the mirror's packed
+        # buffers and/or vectorized closures over its object columns.
+        # Masks only prune: every survivor is still re-checked by the
+        # scalar pairing call, so over-admission is safe and
+        # under-admission impossible by construction.  Mirrors are
+        # maintained only for stages that actually got a mask, and only
+        # under front-only history shrinkage (_use_cuts modes).
+        self._pairing_plan: list | None = None
+        self._mirror_specs: list | None = None
+        if (
+            isinstance(guard, CompiledGuard)
+            and self._pairing is not None
+            and compiled_exec
+            and self._use_cuts
+            and (allow_vector or native_state is not None)
+        ):
+            plan: list = []
+            specs: list = []
+            for index in range(len(self.args) - 1):
+                stream = engine.streams.get(self.args[index].stream.lower())
+                schema = getattr(stream, "schema", None)
+                stage = None
+                if schema is not None:
+                    stage = guard.vector_pairing(
+                        self.args[index].alias,
+                        schema,
+                        [arg.alias for arg in self.args[index + 1:]],
+                        native_state=native_state,
+                        allow_vector=allow_vector,
+                    )
+                if stage is None:
+                    plan.append(None)
+                    specs.append(None)
+                else:
+                    mask_fn, packed_slots = stage
+                    plan.append(mask_fn)
+                    specs.append((schema, packed_slots or None))
+            if any(entry is not None for entry in plan):
+                self._pairing_plan = plan
+                self._mirror_specs = specs
         for stream_name in list(self._positions):
             stream = engine.streams.get(stream_name)
             positions = self._positions[stream_name]
@@ -304,7 +377,9 @@ class SeqOperator:
         # would leave the hot path feeding a stale, empty mapping.
         self._partitions.clear()
         for key, histories, run, cuts, removed in blob["partitions"]:
-            partition = _Partition(n, key, track_cuts=False)
+            partition = _Partition(
+                n, key, track_cuts=False, mirror_specs=self._mirror_specs
+            )
             partition.histories = [
                 [unpack(p) for p in history] for history in histories
             ]
@@ -313,6 +388,14 @@ class SeqOperator:
                 None if cuts is None else [list(stage) for stage in cuts]
             )
             partition.removed = list(removed)
+            # Mirrors are derived state: re-mirror the restored histories
+            # rather than checkpointing column copies of the same tuples.
+            if partition.mirrors is not None:
+                for store, history in zip(
+                    partition.mirrors, partition.histories
+                ):
+                    if store is not None:
+                        store.rebuild(history)
             self._partitions[key] = partition
         self._sweep_due = blob["sweep_due"]
         self._expiry_heap = [tuple(entry) for entry in blob["expiry_heap"]]
@@ -377,6 +460,7 @@ class SeqOperator:
         tick = self._tick
         evict = self._evict_partition
         track_cuts = self._use_cuts
+        mirror_specs = self._mirror_specs
         after = (
             self._after_arrival
             if self.indexed_state and window is not None
@@ -396,7 +480,7 @@ class SeqOperator:
                 partition = partitions.get(key)
                 if partition is None:
                     partition = partitions[key] = _Partition(
-                        n_args, key, track_cuts
+                        n_args, key, track_cuts, mirror_specs
                     )
                 if window is not None:
                     evict(partition, tup.ts)
@@ -422,7 +506,7 @@ class SeqOperator:
                 partition = partitions.get(key)
                 if partition is None:
                     partition = partitions[key] = _Partition(
-                        n_args, key, track_cuts
+                        n_args, key, track_cuts, mirror_specs
                     )
                 if window is not None:
                     evict(partition, tup.ts)
@@ -439,7 +523,9 @@ class SeqOperator:
         key = self.partition_by(tup) if self.partition_by else None
         partition = self._partitions.get(key)
         if partition is None:
-            partition = _Partition(len(self.args), key, self._use_cuts)
+            partition = _Partition(
+                len(self.args), key, self._use_cuts, self._mirror_specs
+            )
             self._partitions[key] = partition
         return partition
 
@@ -477,6 +563,11 @@ class SeqOperator:
 
     def _admit(self, partition: _Partition, tup: Tuple, index: int) -> None:
         partition.histories[index].append(tup)
+        mirrors = partition.mirrors
+        if mirrors is not None:
+            store = mirrors[index]
+            if store is not None:
+                store.append(tup)
         if self._use_cuts and index:
             # Cache the predecessor boundary at admission.  The clock is
             # monotone and tuples order by (ts, seq), so everything already
@@ -546,6 +637,7 @@ class SeqOperator:
         use_cuts = self._use_cuts
         histories = partition.histories
         removed = partition.removed
+        mirrors = partition.mirrors
         for index in self._bounded_range(partition):
             history = histories[index]
             if not history or history[0].ts >= horizon:
@@ -553,6 +645,10 @@ class SeqOperator:
             keep = bisect_left(history, horizon, key=_TS)
             del history[:keep]
             self._held -= keep
+            if mirrors is not None:
+                store = mirrors[index]
+                if store is not None:
+                    store.evict_front(keep)
             if use_cuts:
                 removed[index] += keep
                 if index:
@@ -812,18 +908,40 @@ class SeqOperator:
             extend(n - 2, top)
             return
 
-        args = self.args
-        bindings: dict[str, Tuple] = {args[n - 1].alias: anchor}
+        bind_keys = self._bind_keys
+        bindings: dict[str, Tuple] = {bind_keys[n - 1]: anchor}
         if not pairing(bindings):
             return
+        plan = self._pairing_plan
+        mirrors = partition.mirrors
 
         def extend(index: int, hi: int) -> None:  # noqa: F811
             history = histories[index]
-            alias = args[index].alias
+            alias = bind_keys[index]
+            # Stage mask over the viable prefix [0, hi): the mirror's
+            # columns line up with the history positionally, so the mask
+            # is evaluated on exactly the rows the loop would visit.
+            # Consulted only when the mirror is trusted (schema-clean and
+            # length-consistent) and the slice is long enough to amortize
+            # the call; False rows are guaranteed scalar-rejected, True
+            # rows still take the pairing() re-check below.
+            mask = None
+            if plan is not None and hi >= _MASK_MIN:
+                stage = plan[index]
+                if stage is not None:
+                    store = mirrors[index] if mirrors is not None else None
+                    if (
+                        store is not None
+                        and store.ok
+                        and len(store.timestamps) == len(history)
+                    ):
+                        mask = stage(bindings, store, hi)
             if index:
                 stage_cuts = cuts[index]
                 gone = removed[index - 1]
             for pos in range(hi):
+                if mask is not None and not mask[pos]:
+                    continue
                 candidate = history[pos]
                 bindings[alias] = candidate
                 if not pairing(bindings):
@@ -852,21 +970,39 @@ class SeqOperator:
         to that tuple's cached cut.
         """
         n = len(self.args)
-        args = self.args
         pairing = self._pairing
-        bindings: dict[str, Tuple] = {args[n - 1].alias: anchor}
+        bind_keys = self._bind_keys
+        bindings: dict[str, Tuple] = {bind_keys[n - 1]: anchor}
         if not pairing(bindings):
             return None
         histories = partition.histories
         cuts = partition.cuts
         removed = partition.removed
+        plan = self._pairing_plan
+        mirrors = partition.mirrors
         cut = self._anchor_cut(histories[n - 2], anchor)
         chain = [anchor]
         for index in range(n - 2, -1, -1):
             history = histories[index]
-            alias = args[index].alias
+            alias = bind_keys[index]
+            # Same prefix-mask discipline as _attempt_indexed: the
+            # newest-first scan skips rows the mask already rejected and
+            # re-checks the rest with the scalar pairing call.
+            mask = None
+            if plan is not None and cut >= _MASK_MIN:
+                stage = plan[index]
+                if stage is not None:
+                    store = mirrors[index] if mirrors is not None else None
+                    if (
+                        store is not None
+                        and store.ok
+                        and len(store.timestamps) == len(history)
+                    ):
+                        mask = stage(bindings, store, cut)
             chosen_pos = -1
             for pos in range(cut - 1, -1, -1):
+                if mask is not None and not mask[pos]:
+                    continue
                 bindings[alias] = history[pos]
                 if pairing(bindings):
                     chosen_pos = pos
@@ -889,9 +1025,10 @@ class SeqOperator:
     ) -> Iterator[list[Tuple]]:
         """All time-ordered combinations ending at *anchor* (UNRESTRICTED)."""
         n = len(self.args)
+        bind_keys = self._bind_keys
         chain: list[Tuple | None] = [None] * n
         chain[n - 1] = anchor
-        bindings: dict[str, Tuple] = {self.args[n - 1].alias: anchor}
+        bindings: dict[str, Tuple] = {bind_keys[n - 1]: anchor}
         if not self._guard_ok(bindings):
             return
 
@@ -899,9 +1036,9 @@ class SeqOperator:
             history = partition.histories[index]
             cut = bisect_left(history, upper)
             for candidate in history[:cut]:
-                bindings[self.args[index].alias] = candidate
+                bindings[bind_keys[index]] = candidate
                 if not self._guard_ok(bindings):
-                    del bindings[self.args[index].alias]
+                    del bindings[bind_keys[index]]
                     continue
                 chain[index] = candidate
                 if index == 0:
@@ -910,7 +1047,7 @@ class SeqOperator:
                         yield list(full)  # type: ignore[arg-type]
                 else:
                     yield from extend(index - 1, candidate)
-                del bindings[self.args[index].alias]
+                del bindings[bind_keys[index]]
                 chain[index] = None
 
         yield from extend(n - 2, anchor)
@@ -935,7 +1072,8 @@ class SeqOperator:
                 chain.append(upper)
             chain.reverse()
             return chain if self._window_ok(chain) else None
-        bindings: dict[str, Tuple] = {self.args[n - 1].alias: anchor}
+        bind_keys = self._bind_keys
+        bindings: dict[str, Tuple] = {bind_keys[n - 1]: anchor}
         if not self._guard_ok(bindings):
             return None
         chain = [anchor]
@@ -945,11 +1083,11 @@ class SeqOperator:
             cut = bisect_left(history, upper)
             chosen: Tuple | None = None
             for candidate in reversed(history[:cut]):
-                bindings[self.args[index].alias] = candidate
+                bindings[bind_keys[index]] = candidate
                 if self._guard_ok(bindings):
                     chosen = candidate
                     break
-                del bindings[self.args[index].alias]
+                del bindings[bind_keys[index]]
             if chosen is None:
                 return None
             chain.append(chosen)
@@ -967,7 +1105,8 @@ class SeqOperator:
         violating the ordering, so greedy failure means no chain exists.
         """
         n = len(self.args)
-        bindings: dict[str, Tuple] = {self.args[n - 1].alias: anchor}
+        bind_keys = self._bind_keys
+        bindings: dict[str, Tuple] = {bind_keys[n - 1]: anchor}
         if not self._guard_ok(bindings):
             return None
         chain: list[Tuple] = []
@@ -979,11 +1118,11 @@ class SeqOperator:
             for candidate in history[start:]:
                 if candidate >= anchor:
                     break
-                bindings[self.args[index].alias] = candidate
+                bindings[bind_keys[index]] = candidate
                 if self._guard_ok(bindings):
                     chosen = candidate
                     break
-                del bindings[self.args[index].alias]
+                del bindings[bind_keys[index]]
             if chosen is None:
                 return None
             chain.append(chosen)

@@ -284,6 +284,10 @@ class Engine:
             info["cache_dir"] = str(self.native_state.cache_dir)
             info["native"] = self.native_state.stats()
         info["active"] = active
+        # The pairing hot path rides the same flags and degrades the same
+        # way (its masks chain native -> vector and always fall back to
+        # the scalar pairing re-check), so its ladder mirrors admission's.
+        info["pairing"] = {"requested": requested, "active": active}
         return info
 
     # -- catalog --------------------------------------------------------

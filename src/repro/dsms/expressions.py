@@ -1342,7 +1342,8 @@ def _vector_rows(item: Any, cols: Any, tss: Any, n: int) -> list:
 
 
 def _lower_vector(  # noqa: PLR0911, PLR0912 - one dispatch, many node kinds
-    expr: Expression, schema: Schema, alias: str | None
+    expr: Expression, schema: Schema, alias: str | None,
+    lower: "Callable[[Expression, Schema, str | None], Any] | None" = None,
 ) -> Any:
     """Lower *expr* to a :data:`VectorFn` or :class:`_VConst`, else None.
 
@@ -1350,7 +1351,15 @@ def _lower_vector(  # noqa: PLR0911, PLR0912 - one dispatch, many node kinds
     bare column references (no alias) also resolve against *schema*, which
     is correct in the single-binding admission/filter contexts this tier
     serves.
+
+    *lower* is the recursion hook: every sub-expression is lowered through
+    it (default: this function).  :func:`compile_pairing_vector` passes a
+    hook that intercepts references to *other* aliases — unloweraable
+    here, constant-per-anchor there — and vetoes bare columns, reusing
+    every operator lowering below unchanged.
     """
+    if lower is None:
+        lower = _lower_vector
     kind = type(expr)
     if kind is Literal:
         return _VConst(expr.value)
@@ -1375,10 +1384,10 @@ def _lower_vector(  # noqa: PLR0911, PLR0912 - one dispatch, many node kinds
 
         return timestamp
     if kind is BinaryOp:
-        left = _lower_vector(expr.left, schema, alias)
+        left = lower(expr.left, schema, alias)
         if left is None:
             return None
-        right = _lower_vector(expr.right, schema, alias)
+        right = lower(expr.right, schema, alias)
         if right is None:
             return None
         op = expr.op
@@ -1458,7 +1467,7 @@ def _lower_vector(  # noqa: PLR0911, PLR0912 - one dispatch, many node kinds
     if kind is And or kind is Or:
         items = []
         for operand in expr.operands:
-            item = _lower_vector(operand, schema, alias)
+            item = lower(operand, schema, alias)
             if item is None:
                 return None
             items.append(item)
@@ -1479,7 +1488,7 @@ def _lower_vector(  # noqa: PLR0911, PLR0912 - one dispatch, many node kinds
             return _vector_conjunction(items)
         return _vector_disjunction(items)
     if kind is Not:
-        item = _lower_vector(expr.operand, schema, alias)
+        item = lower(expr.operand, schema, alias)
         if item is None:
             return None
         if type(item) is _VConst:
@@ -1493,7 +1502,7 @@ def _lower_vector(  # noqa: PLR0911, PLR0912 - one dispatch, many node kinds
 
         return negation
     if kind is Negate:
-        item = _lower_vector(expr.operand, schema, alias)
+        item = lower(expr.operand, schema, alias)
         if item is None:
             return None
         if type(item) is _VConst:
@@ -1508,7 +1517,7 @@ def _lower_vector(  # noqa: PLR0911, PLR0912 - one dispatch, many node kinds
 
         return negate
     if kind is IsNull:
-        item = _lower_vector(expr.operand, schema, alias)
+        item = lower(expr.operand, schema, alias)
         if item is None:
             return None
         invert = expr.negate
@@ -1521,9 +1530,9 @@ def _lower_vector(  # noqa: PLR0911, PLR0912 - one dispatch, many node kinds
             ]
         return lambda cols, tss, n: [v is None for v in item(cols, tss, n)]
     if kind is Between:
-        operand = _lower_vector(expr.operand, schema, alias)
-        low = _lower_vector(expr.low, schema, alias)
-        high = _lower_vector(expr.high, schema, alias)
+        operand = lower(expr.operand, schema, alias)
+        low = lower(expr.low, schema, alias)
+        high = lower(expr.high, schema, alias)
         if operand is None or low is None or high is None:
             return None
         invert = expr.negate
@@ -1544,12 +1553,12 @@ def _lower_vector(  # noqa: PLR0911, PLR0912 - one dispatch, many node kinds
 
         return between
     if kind is InList:
-        operand = _lower_vector(expr.operand, schema, alias)
+        operand = lower(expr.operand, schema, alias)
         if operand is None:
             return None
         options = []
         for option in expr.options:
-            item = _lower_vector(option, schema, alias)
+            item = lower(option, schema, alias)
             if type(item) is not _VConst:
                 return None  # dynamic options keep the scalar path
             options.append(item.value)
@@ -1579,10 +1588,10 @@ def _lower_vector(  # noqa: PLR0911, PLR0912 - one dispatch, many node kinds
 
         return membership
     if kind is Like:
-        operand = _lower_vector(expr.operand, schema, alias)
+        operand = lower(expr.operand, schema, alias)
         if operand is None:
             return None
-        pattern = _lower_vector(expr.pattern, schema, alias)
+        pattern = lower(expr.pattern, schema, alias)
         if type(pattern) is not _VConst or pattern.value is None:
             return None  # dynamic patterns keep the scalar regex cache
         match = Like._regex(pattern.value).match
@@ -1723,3 +1732,118 @@ def compile_vector(
 
         return const
     return lowered
+
+
+# ---------------------------------------------------------------------------
+# Pairing lowering (cross-alias conjuncts over partition-history mirrors)
+# ---------------------------------------------------------------------------
+#
+# The third lowering tier: SEQ pairing guards compare the *arriving*
+# tuples of one chain stage (the anchor side, already bound) against the
+# candidate history of another stage (one column store).  Relative to the
+# admission tier the only new ingredient is that sub-expressions over the
+# bound aliases are constants *per mask evaluation* — so they compile
+# through the scalar closure tier once and broadcast, while candidate-side
+# references lower to column reads exactly as admission does.  The same
+# over-admit-never-under-admit contract applies: every mask survivor is
+# re-checked by the scalar ``pairing()`` closure, so a raising mask is
+# simply abandoned for that anchor.
+
+#: Sentinel node kinds never safe inside a broadcast anchor cell: UDFs may
+#: be stateful (call counts are observable), CASE/probes re-evaluate state.
+_IMPURE_NODES = (FunctionCall, Case, SubqueryPredicate)
+
+
+class _PairCell:
+    """An anchor-side sub-expression broadcast over the candidate slice.
+
+    Compiled once to a scalar closure; ``value`` is refreshed from the
+    live Env bindings at every mask evaluation, then the cell behaves as
+    a :data:`VectorFn` producing that value for all *n* candidate rows.
+    """
+
+    __slots__ = ("fn", "value")
+
+    def __init__(self, fn: EvalFn) -> None:
+        self.fn = fn
+        self.value: Any = None
+
+    def __call__(self, cols: Any, tss: Any, n: int) -> list:
+        return [self.value] * n
+
+
+def compile_pairing_vector(
+    expr: Expression,
+    schema: Schema,
+    alias: str,
+    ctx: CompileContext,
+    bound_aliases: Iterable[str],
+) -> Callable[[Env, Any, Any, int], list] | None:
+    """Lower a cross-alias pairing conjunct to a broadcast-mask closure.
+
+    *alias* names the candidate stage whose history mirror supplies the
+    columns; *bound_aliases* are the chain stages already bound when this
+    stage's candidates are scanned.  Returns ``(env, cols, tss, n) ->
+    values`` (the per-row Kleene values the scalar term would produce) or
+    None when the term cannot be lowered soundly:
+
+    * a bare (unqualified) column reference — ambiguous across the
+      multiple bindings of a pairing Env, unlike the single-binding
+      admission context;
+    * a reference to an alias that is neither the candidate nor provably
+      bound at this stage;
+    * an impure node (UDF call, CASE, sub-query probe) anywhere, on
+      either side;
+    * any node the admission vector tier already declines.
+
+    Anchor-side sub-expressions (references only to bound aliases) become
+    :class:`_PairCell` broadcasts compiled through the scalar closure
+    tier; the rest reuses :func:`_lower_vector`'s operator lowerings via
+    its recursion hook.
+    """
+    cand = alias.lower()
+    bound = {name.lower() for name in bound_aliases}
+    cells: list[_PairCell] = []
+
+    def hook(node: Expression, lschema: Schema, lalias: str | None) -> Any:
+        refs = list(node.references())
+        if refs:
+            ref_aliases = {
+                ref_alias.lower() if ref_alias is not None else None
+                for ref_alias, __ in refs
+            }
+            if None in ref_aliases:
+                return None  # bare column: ambiguous across bindings
+            if cand not in ref_aliases:
+                if not ref_aliases <= bound:
+                    return None  # references an alias not yet bound
+                for sub in node.walk():
+                    if isinstance(sub, _IMPURE_NODES):
+                        return None
+                cell = _PairCell(node.compile(ctx))
+                cells.append(cell)
+                return cell
+            if not ref_aliases <= bound | {cand}:
+                return None
+        elif any(isinstance(sub, _IMPURE_NODES) for sub in node.walk()):
+            return None  # e.g. a zero-argument UDF call
+        return _lower_vector(node, lschema, lalias, hook)
+
+    lowered = hook(expr, schema, cand)
+    if lowered is None:
+        return None
+    if type(lowered) is _VConst:
+        value = lowered.value
+
+        def pair_const(env: Env, cols: Any, tss: Any, n: int) -> list:
+            return [value] * n
+
+        return pair_const
+    frozen = tuple(cells)
+
+    def pair(env: Env, cols: Any, tss: Any, n: int) -> list:
+        for cell in frozen:
+            cell.value = cell.fn(env)
+        return lowered(cols, tss, n)
+
+    return pair

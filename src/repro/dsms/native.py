@@ -53,8 +53,15 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from .expressions import Expression
-from .native_codegen import KernelSpec, lower_kernel, translation_unit
+from .native_codegen import (
+    KernelSpec,
+    PairKernelSpec,
+    lower_kernel,
+    lower_pairing_kernel,
+    translation_unit,
+)
 from .schema import Schema
+from .tuples import Tuple
 
 #: Environment knobs (all read at call time, so tests can flip them).
 CACHE_ENV = "REPRO_NATIVE_CACHE"
@@ -119,6 +126,8 @@ class NativeState:
         self.runtime_fallbacks = 0  # a batch's values escaped the C ABI
         self.masked_batches = 0     # batches masked natively
         self.masked_rows = 0        # rows masked natively
+        self.pairing_masked_windows = 0  # candidate windows masked natively
+        self.pairing_masked_rows = 0     # candidate rows masked natively
         self._libs: list[ctypes.CDLL] = []
 
     @property
@@ -136,6 +145,8 @@ class NativeState:
             "runtime_fallbacks": self.runtime_fallbacks,
             "masked_batches": self.masked_batches,
             "masked_rows": self.masked_rows,
+            "pairing_masked_windows": self.pairing_masked_windows,
+            "pairing_masked_rows": self.pairing_masked_rows,
         }
 
 
@@ -149,6 +160,15 @@ class _RnCols(ctypes.Structure):
         ("ts", ctypes.c_void_p),
         ("dict", ctypes.c_void_p),
         ("dict_off", ctypes.c_void_p),
+    ]
+
+
+class _RnAnchor(ctypes.Structure):
+    _fields_ = [
+        ("ivals", ctypes.c_void_p),
+        ("dvals", ctypes.c_void_p),
+        ("sids", ctypes.c_void_p),
+        ("flags", ctypes.c_void_p),
     ]
 
 
@@ -208,11 +228,19 @@ def load_kernel(spec: KernelSpec, state: NativeState) -> Callable | None:
         state.kernels_built += 1
     state._libs.append(lib)
     kern = getattr(lib, spec.name)
-    kern.argtypes = [
-        ctypes.POINTER(_RnCols),
-        ctypes.c_int32,
-        ctypes.POINTER(ctypes.c_uint8),
-    ]
+    if isinstance(spec, PairKernelSpec):
+        kern.argtypes = [
+            ctypes.POINTER(_RnCols),
+            ctypes.c_int32,
+            ctypes.POINTER(_RnAnchor),
+            ctypes.POINTER(ctypes.c_uint8),
+        ]
+    else:
+        kern.argtypes = [
+            ctypes.POINTER(_RnCols),
+            ctypes.c_int32,
+            ctypes.POINTER(ctypes.c_uint8),
+        ]
     kern.restype = ctypes.c_int
     return kern
 
@@ -351,6 +379,149 @@ def make_mask(
             return None
 
     return native_mask
+
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+_I53 = 1 << 53
+
+
+def make_pairing_mask(
+    kern: Callable,
+    spec: PairKernelSpec,
+    state: NativeState,
+    outer_schemas: "dict[str, Schema]",
+) -> Callable[[Any, Any, int], Any]:
+    """Wrap a pairing kernel as a ``(bindings, store, n) -> mask | None`` hook.
+
+    *bindings* is the live pairing Env's alias->Tuple mapping (the bound
+    chain stages), *store* the candidate stage's
+    :class:`~repro.dsms.columns.ColumnStore` mirror, *n* the prefix of
+    the mirror to evaluate (enumeration bounds are always prefixes).
+    None means this anchor's values escaped the C ABI — use the next
+    tier down; the kernel stays armed for the next anchor.
+    """
+    extractors: list[tuple[str, int | None, str, Schema]] = []
+    for alias_key, field, kind in spec.anchor_slots:
+        schema = outer_schemas[alias_key]
+        position = None if field is None else schema.position(field)
+        extractors.append((alias_key, position, kind, schema))
+    n_slots = len(spec.slots)
+    uses_ts = spec.uses_ts
+    uses_dict = spec.uses_dict
+    n_anchors = len(extractors)
+
+    def pairing_mask(bindings: Any, store: Any, n: int) -> Any:
+        if not store.native_ok or n <= 0:
+            return None
+        try:
+            ivals = array("q", bytes(8 * max(n_anchors, 1)))
+            dvals = array("d", bytes(8 * max(n_anchors, 1)))
+            sids = array("i", bytes(4 * max(n_anchors, 1)))
+            flags = bytearray(max(n_anchors, 1))
+            strings = store.strings
+            for k, (alias_key, position, kind, expected) in enumerate(
+                extractors
+            ):
+                tup = bindings[alias_key]
+                if type(tup) is not Tuple or tup.schema is not expected:
+                    return None  # re-declared schema: stay scalar
+                if position is None:
+                    dvals[k] = tup.ts
+                    continue
+                value = tup.values[position]
+                if kind == "s":
+                    if value is None:
+                        sids[k] = -1
+                    elif type(value) is str:
+                        # May intern a new id; the table is append-only
+                        # so candidate ids stay valid.
+                        sids[k] = strings.intern(value)
+                    else:
+                        return None  # no UNKNOWN channel for string ids
+                elif value is None:
+                    flags[k] = 2
+                elif kind == "i":
+                    if isinstance(value, int) and (
+                        _I64_MIN <= value <= _I64_MAX
+                    ):
+                        ivals[k] = value
+                    else:
+                        flags[k] = 3  # unrepresentable: verdict UNKNOWN
+                else:  # "d"
+                    if isinstance(value, (int, float)) and not (
+                        isinstance(value, int) and abs(value) > _I53
+                    ):
+                        dvals[k] = value
+                    else:
+                        flags[k] = 3
+            keepalive: list[Any] = []
+            c_cols = (_RnCol * max(n_slots, 1))()
+            for slot in range(n_slots):
+                c_cols[slot].data = _addr(store.packed[slot])
+                side = store.nulls[slot]
+                c_cols[slot].nulls = (
+                    _addr(side) if side is not None else None
+                )
+            frame = _RnCols()
+            frame.cols = c_cols
+            frame.ts = _addr(store.packed_ts) if uses_ts else None
+            if uses_dict and len(strings.offsets):
+                frame.dict = _addr(strings.blob)
+                frame.dict_off = _addr(strings.offsets)
+            else:
+                frame.dict = None
+                frame.dict_off = None
+            anchor = _RnAnchor()
+            anchor.ivals = _addr(ivals)
+            anchor.dvals = _addr(dvals)
+            anchor.sids = _addr(sids)
+            c_flags = (ctypes.c_ubyte * len(flags)).from_buffer(flags)
+            keepalive.append((flags, c_flags))
+            anchor.flags = ctypes.addressof(c_flags)
+            out = bytearray(n)
+            c_out = (ctypes.c_uint8 * n).from_buffer(out)
+            kern(ctypes.byref(frame), n, ctypes.byref(anchor), c_out)
+            state.pairing_masked_windows += 1
+            state.pairing_masked_rows += n
+            return out
+        except (
+            TypeError, ValueError, OverflowError,
+            KeyError, AttributeError, IndexError,
+        ):
+            state.runtime_fallbacks += 1
+            return None
+
+    return pairing_mask
+
+
+def native_pairing_mask(
+    terms: Sequence[Expression],
+    schema: Schema,
+    alias: str | None,
+    outer_schemas: "dict[str, Schema]",
+    state: NativeState,
+) -> "tuple[Callable[[Any, Any, int], Any], PairKernelSpec] | None":
+    """Build a native pairing mask hook for one chain stage, or None.
+
+    Returns ``(mask_fn, spec)`` — the caller needs ``spec.slots`` to
+    provision the partition mirrors' packed buffers.  None means this
+    stage's pairing stays on the vectorized/scalar tiers (nothing
+    lowerable, no compiler, or the compiler rejected the source); other
+    stages of the same plan still go native independently.
+    """
+    if find_compiler() is None:
+        return None
+    spec = lower_pairing_kernel(
+        terms, schema, alias, outer_schemas, name="pair_0"
+    )
+    if spec is None:
+        state.lowering_fallbacks += 1
+        return None
+    kern = load_kernel(spec, state)
+    if kern is None:
+        return None
+    return make_pairing_mask(kern, spec, state, outer_schemas), spec
 
 
 def native_admission_mask(

@@ -1963,6 +1963,9 @@ class ShardedEngine:
                     active = "interpreted"
             info["compiler"] = compiler
         info["active"] = active
+        # Pairing masks ride the same flags inside each shard's engine and
+        # share admission's degradation ladder.
+        info["pairing"] = {"requested": requested, "active": active}
         return info
 
     def alive_workers(self) -> int:

@@ -1,0 +1,421 @@
+"""Differential, mirror-upkeep, and checkpoint tests for the pairing tier.
+
+The pairing-kernel tier batches the SEQ match-enumeration hot path: each
+partition keeps a columnar mirror of its history, and cross-alias
+conjuncts are lowered to per-stage candidate masks — Python columnar
+closures (vector tier) and two-operand C kernels over the mirror's
+packed buffers (native tier).  Masks only prune: every survivor re-runs
+the scalar pairing check, so the contract is the vectorized-admission
+one, end to end — whatever the host, query output must be
+**byte-identical** to the interpreted engine in values, timestamps and
+order.
+
+Covered here, all under the ``pairing`` marker:
+
+* every paper example re-run through all four tiers (inherited from the
+  native-tier suite, so the workloads stay byte-for-byte the same),
+* dense SEQ traces that actually engage the masks (UNRESTRICTED and
+  RECENT, two- and four-stage chains), plus NULL-heavy, unicode /
+  embedded-NUL, and Kleene-star traces,
+* mirror upkeep under window eviction and the checkpoint round trip
+  (mirrors are derived state: restore must rebuild them exactly),
+* the fallback chain and the ``execution_tier()`` pairing report.
+"""
+
+import pytest
+
+from repro.core.operators.seq import SeqOperator
+from repro.dsms import native as native_mod
+from repro.dsms.checkpoint import capture_engine_state, restore_engine_state
+from repro.dsms.engine import Engine
+from tests.test_native_codegen import (
+    HAS_CC,
+    TIER_FLAGS,
+    TestPaperQueryDifferentials,
+    results_of,
+    run_tiers,
+)
+
+pytestmark = pytest.mark.pairing
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every test gets a private kernel cache directory."""
+    monkeypatch.setenv(native_mod.CACHE_ENV, str(tmp_path / "kernel-cache"))
+
+
+def seq_operators(engine):
+    return [c for c in engine.checkpointables if isinstance(c, SeqOperator)]
+
+
+def dense_seq_batches(n=400, tags=8, nulls=False):
+    """Interleaved a/b batches dense enough to exceed the mask floor."""
+    batches = []
+    ts = 0.0
+    for start in range(0, n, 100):
+        a_rows = []
+        b_rows = []
+        for i in range(100):
+            k = start + i
+            v = None if nulls and k % 7 == 0 else ((k * 13) % 100) / 100.0
+            w = None if nulls and k % 5 == 0 else ((k * 29) % 100) / 100.0
+            a_rows.append(({"tag_id": f"t{k % tags}", "v": v}, ts + i))
+            b_rows.append(
+                ({"tag_id": f"t{(k * 3) % tags}", "w": w}, ts + 150.0 + i)
+            )
+        batches.append(("a", a_rows))
+        batches.append(("b", b_rows))
+        ts += 400.0
+    return batches
+
+
+class TestPaperQueriesUnderPairingTiers(TestPaperQueryDifferentials):
+    """All eight paper examples, re-collected under the pairing marker.
+
+    The workloads and assertions are inherited byte-for-byte from the
+    native-tier suite; what changed underneath them in this layer is the
+    SEQ enumeration path (mirrors + stage masks), so re-running them
+    here is the regression net for the pairing tier specifically.
+    """
+
+
+class TestPairingMaskDifferentials:
+    AB_DDL = (("a", "tag_id str, v float"), ("b", "tag_id str, w float"))
+
+    def _setup(self, query):
+        def setup(engine):
+            for name, ddl in self.AB_DDL:
+                engine.create_stream(name, ddl)
+            return [results_of(engine.query(query))]
+
+        return setup
+
+    def test_unrestricted_masks_engage(self):
+        query = (
+            "SELECT X.tag_id, X.v, Y.w FROM a AS X, b AS Y "
+            "WHERE SEQ(X, Y) AND X.tag_id = Y.tag_id AND Y.w - X.v > 0.3"
+        )
+        (out,), native_engine = run_tiers(
+            self._setup(query), dense_seq_batches()
+        )
+        assert out
+        (op,) = seq_operators(native_engine)
+        assert op._pairing_plan is not None
+        if HAS_CC:
+            stats = native_engine.native_state.stats()
+            assert stats["pairing_masked_windows"] > 0
+            assert stats["pairing_masked_rows"] > 0
+
+    def test_vector_plan_without_native(self):
+        engine = Engine()  # vector tier, no native
+        for name, ddl in self.AB_DDL:
+            engine.create_stream(name, ddl)
+        engine.query(
+            "SELECT X.tag_id FROM a AS X, b AS Y "
+            "WHERE SEQ(X, Y) AND X.tag_id = Y.tag_id AND Y.w - X.v > 0.3"
+        )
+        (op,) = seq_operators(engine)
+        assert op._pairing_plan is not None
+        # Stage 0 scans X's history while Y is bound: it must carry the
+        # mask; mirrors are built exactly for plan-covered stages.
+        assert op._pairing_plan[0] is not None
+        assert op._mirror_specs is not None
+
+    def test_recent_mode_masks(self):
+        query = (
+            "SELECT X.tag_id, X.v, Y.w FROM a AS X, b AS Y "
+            "WHERE SEQ(X, Y) OVER [300 SECONDS PRECEDING Y] MODE RECENT "
+            "AND X.tag_id = Y.tag_id AND Y.w - X.v > 0.3"
+        )
+        (out,), native_engine = run_tiers(
+            self._setup(query), dense_seq_batches()
+        )
+        assert out
+        (op,) = seq_operators(native_engine)
+        assert op._use_cuts and op._pairing_plan is not None
+        if HAS_CC:
+            assert (
+                native_engine.native_state.stats()["pairing_masked_windows"]
+                > 0
+            )
+
+    def test_four_stage_chain_masks_multiple_stages(self):
+        query = """
+        SELECT C1.tagid, C1.tagtime, C4.tagtime
+        FROM C1, C2, C3, C4
+        WHERE SEQ(C1, C2, C3, C4)
+        AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid
+        AND C4.tagtime - C1.tagtime < 900
+        AND C3.tagtime - C2.tagtime < 400
+        """
+
+        def setup(engine):
+            for name in ("c1", "c2", "c3", "c4"):
+                engine.create_stream(
+                    name, "readerid str, tagid str, tagtime float"
+                )
+            return [results_of(engine.query(query))]
+
+        batches = []
+        ts = 0.0
+        for wave in range(30):
+            for stream in ("c1", "c2", "c3", "c4"):
+                step = 500.0 if wave % 5 == 2 and stream == "c3" else 25.0
+                ts += step
+                batches.append((stream, [
+                    ({"readerid": stream, "tagid": f"pallet{wave % 6}",
+                      "tagtime": ts}, ts)
+                ]))
+        (out,), native_engine = run_tiers(setup, batches)
+        assert out
+        (op,) = seq_operators(native_engine)
+        plan = op._pairing_plan
+        assert plan is not None
+        # C4.tagtime - C1.tagtime is decidable at stage 0 (scanning C1
+        # with C4 bound); C3.tagtime - C2.tagtime at stage 1.
+        assert plan[0] is not None and plan[1] is not None
+
+    def test_null_heavy_trace(self):
+        query = (
+            "SELECT X.tag_id, X.v, Y.w FROM a AS X, b AS Y "
+            "WHERE SEQ(X, Y) AND X.tag_id = Y.tag_id AND Y.w - X.v > 0.2"
+        )
+        (out,), _ = run_tiers(
+            self._setup(query), dense_seq_batches(nulls=True)
+        )
+        assert out
+
+    def test_unicode_and_embedded_nul_poison_packed_side(self):
+        """Unicode string operands flow through the interned-id path;
+        an embedded NUL cannot be interned, poisons only the mirror's
+        packed side, and every tier still agrees byte-for-byte."""
+        query = (
+            "SELECT X.tag_id, Y.tag_id FROM a AS X, b AS Y "
+            "WHERE SEQ(X, Y) AND X.loc <> Y.loc AND Y.w - X.v > 0.1"
+        )
+
+        def setup(engine):
+            engine.create_stream("a", "tag_id str, v float, loc str")
+            engine.create_stream("b", "tag_id str, w float, loc str")
+            return [results_of(engine.query(query))]
+
+        locs = ("ガ-dock", "café", "yard", "b\x00elt", None)
+        batches = []
+        ts = 0.0
+        for start in range(0, 200, 50):
+            a_rows = [({"tag_id": f"t{(start + i) % 4}",
+                        "v": ((start + i) * 13 % 100) / 100.0,
+                        "loc": locs[(start + i) % 5]}, ts + i)
+                      for i in range(50)]
+            b_rows = [({"tag_id": f"t{(start + i) % 4}",
+                        "w": ((start + i) * 29 % 100) / 100.0,
+                        "loc": locs[(start + i) % 3]}, ts + 80.0 + i)
+                      for i in range(50)]
+            batches.append(("a", a_rows))
+            batches.append(("b", b_rows))
+            ts += 200.0
+        (out,), native_engine = run_tiers(setup, batches)
+        assert out
+        (op,) = seq_operators(native_engine)
+        for partition in op._partitions.values():
+            if partition.mirrors is None:
+                continue
+            for store in partition.mirrors:
+                if store is None or not store.packed_slots:
+                    continue
+                # The NUL-carrying trace must have poisoned the packed
+                # side while the object columns stay exact.
+                assert store.ok
+                assert not store.native_ok
+
+    def test_kleene_star_trace(self):
+        """Star sequences take the StarSeqOperator path — no mirrors,
+        no masks — and must be untouched by the pairing tier."""
+        query = """
+        SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+        FROM R1, R2
+        WHERE SEQ(R1*, R2) MODE CHRONICLE
+        AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+        AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
+        """
+
+        def setup(engine):
+            engine.create_stream("r1", "readerid str, tagid str, tagtime float")
+            engine.create_stream("r2", "readerid str, tagid str, tagtime float")
+            return [results_of(engine.query(query))]
+
+        batches = []
+        ts = 0.0
+        for case in range(10):
+            items = [({"readerid": "r1", "tagid": f"p{case}_{item}",
+                       "tagtime": ts + item * 0.4}, ts + item * 0.4)
+                     for item in range(2 + case % 4)]
+            ts += len(items) * 0.4
+            batches.append(("r1", items))
+            ts += 2.0
+            batches.append(
+                ("r2", [({"readerid": "r2", "tagid": f"case{case}",
+                          "tagtime": ts}, ts)])
+            )
+            ts += 12.0
+        (out,), native_engine = run_tiers(setup, batches)
+        assert len(out) == 10
+        assert not seq_operators(native_engine)  # star path, not SeqOperator
+
+
+class TestMirrorUpkeep:
+    QUERY = (
+        "SELECT X.tag_id, X.v, Y.w FROM a AS X, b AS Y "
+        "WHERE SEQ(X, Y) OVER [200 SECONDS PRECEDING Y] "
+        "AND X.tag_id = Y.tag_id AND Y.w - X.v > 0.2"
+    )
+
+    def _build(self, **flags):
+        engine = Engine(**flags)
+        engine.create_stream("a", "tag_id str, v float")
+        engine.create_stream("b", "tag_id str, w float")
+        handle = engine.query(self.QUERY)
+        return engine, handle
+
+    @staticmethod
+    def _assert_mirrors_exact(op):
+        checked = 0
+        for partition in op._partitions.values():
+            assert partition.mirrors is not None
+            for store, history in zip(
+                partition.mirrors, partition.histories
+            ):
+                if store is None:
+                    continue
+                checked += 1
+                assert store.ok
+                assert store.timestamps == [t.ts for t in history]
+                for j, column in enumerate(store.columns):
+                    assert column == [t.values[j] for t in history]
+                if store.packed_slots and store.native_ok:
+                    assert len(store.packed_ts) == len(history)
+                    for buf in store.packed:
+                        assert len(buf) == len(history)
+        assert checked  # the plan covered at least one stage somewhere
+
+    def test_eviction_keeps_mirrors_in_sync(self):
+        engine, _handle = self._build()
+        for stream, rows in dense_seq_batches():
+            for values, ts in rows:
+                engine.push(stream, values, ts=ts)
+        (op,) = seq_operators(engine)
+        assert op._pairing_plan is not None
+        # The 200 s window over a 1600 s trace has evicted from the
+        # front of every surviving history; the mirrors must have
+        # tracked those evictions row for row.
+        assert any(
+            partition.removed[0] > 0
+            for partition in op._partitions.values()
+        )
+        self._assert_mirrors_exact(op)
+
+    @pytest.mark.parametrize(
+        "flags",
+        [{}] + ([{"native_admission": True}] if HAS_CC else []),
+        ids=["vector"] + (["native"] if HAS_CC else []),
+    )
+    def test_checkpoint_roundtrip_rebuilds_mirrors(self, flags):
+        batches = dense_seq_batches()
+        half = len(batches) // 2
+
+        source, source_handle = self._build(**flags)
+        for stream, rows in batches[:half]:
+            for values, ts in rows:
+                source.push(stream, values, ts=ts)
+        state = capture_engine_state(source)
+
+        restored, restored_handle = self._build(**flags)
+        restore_engine_state(restored, state)
+
+        (src_op,) = seq_operators(source)
+        (dst_op,) = seq_operators(restored)
+        assert dst_op._pairing_plan is not None
+        self._assert_mirrors_exact(dst_op)
+        # The rebuilt mirrors must equal the source's, column for
+        # column — including the packed buffers the C kernels read.
+        assert set(src_op._partitions) == set(dst_op._partitions)
+        for key, src_part in src_op._partitions.items():
+            dst_part = dst_op._partitions[key]
+            for src_store, dst_store in zip(
+                src_part.mirrors, dst_part.mirrors
+            ):
+                if src_store is None:
+                    assert dst_store is None
+                    continue
+                assert dst_store.columns == src_store.columns
+                assert dst_store.timestamps == src_store.timestamps
+                assert dst_store.packed_slots == src_store.packed_slots
+                assert dst_store.native_ok == src_store.native_ok
+                if src_store.native_ok:
+                    for src_buf, dst_buf in zip(
+                        src_store.packed, dst_store.packed
+                    ):
+                        assert dst_buf == src_buf
+                    assert dst_store.packed_ts == src_store.packed_ts
+
+        # And the restored engine must keep producing exactly what the
+        # uninterrupted source produces.
+        seen = len(source_handle.results)
+        for stream, rows in batches[half:]:
+            for values, ts in rows:
+                source.push(stream, values, ts=ts)
+                restored.push(stream, values, ts=ts)
+        tail = [
+            (t.values, t.ts) for t in source_handle.results[seen:]
+        ]
+        assert [
+            (t.values, t.ts) for t in restored_handle.results
+        ] == tail
+        assert tail  # the continuation actually matched something
+
+
+class TestFallbackAndReporting:
+    QUERY = (
+        "SELECT X.tag_id FROM a AS X, b AS Y "
+        "WHERE SEQ(X, Y) AND X.tag_id = Y.tag_id AND Y.w - X.v > 0.3"
+    )
+
+    def _run(self, **flags):
+        engine = Engine(**flags)
+        engine.create_stream("a", "tag_id str, v float")
+        engine.create_stream("b", "tag_id str, w float")
+        handle = engine.query(self.QUERY)
+        for stream, rows in dense_seq_batches(n=200):
+            for values, ts in rows:
+                engine.push(stream, values, ts=ts)
+        return engine, [(t.values, t.ts) for t in handle.results]
+
+    def test_disable_env_degrades_pairing_with_admission(self, monkeypatch):
+        monkeypatch.setenv(native_mod.DISABLE_ENV, "1")
+        engine, out = self._run(native_admission=True)
+        tier = engine.execution_tier()
+        assert tier["pairing"] == {"requested": "native", "active": "vector"}
+        assert engine.native_state.stats()["kernels_built"] == 0
+        _, reference = self._run(
+            compile_expressions=False, vectorized_admission=False
+        )
+        assert out == reference
+
+    def test_tier_report_carries_pairing_ladder(self):
+        assert Engine().execution_tier()["pairing"] == {
+            "requested": "vector", "active": "vector",
+        }
+        assert Engine(
+            compile_expressions=False, vectorized_admission=False
+        ).execution_tier()["pairing"] == {
+            "requested": "interpreted", "active": "interpreted",
+        }
+
+    def test_sharded_tier_report_carries_pairing(self, monkeypatch):
+        from repro.dsms.sharding import ShardedEngine
+
+        monkeypatch.setenv(native_mod.DISABLE_ENV, "1")
+        sharded = ShardedEngine(n_shards=2, native_admission=True)
+        tier = sharded.execution_tier()
+        assert tier["pairing"] == {"requested": "native", "active": "vector"}
